@@ -1,0 +1,70 @@
+"""Component micro-benchmarks.
+
+Not tied to a specific table or figure; they track the runtime of the
+building blocks that dominate the co-design flow (latency estimation, the
+cycle-level simulator, Auto-HLS code generation and numpy training), so
+regressions in the engines themselves are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auto_hls import AutoHLS
+from repro.detection.dataset import SyntheticDetectionDataset
+from repro.detection.task import TINY_DETECTION_TASK
+from repro.experiments.reference_designs import reference_dnn3
+from repro.hw.device import PYNQ_Z1
+from repro.hw.hls.codegen import HLSCodeGenerator
+from repro.hw.pipeline import TilePipelineSimulator
+from repro.nn import Conv2D, ReLU4, Sequential, Trainer, BBoxHead
+from repro.detection.metrics import mean_iou
+
+
+@pytest.fixture(scope="module")
+def dnn3_accelerator():
+    return AutoHLS(PYNQ_Z1).build_accelerator(reference_dnn3())
+
+
+def test_component_analytical_estimate(benchmark):
+    """Latency/resource estimation — the inner loop of the SCD search."""
+    engine = AutoHLS(PYNQ_Z1)
+    config = reference_dnn3()
+    estimate = benchmark(lambda: engine.estimate(config))
+    assert estimate.latency_ms > 0
+
+
+def test_component_pipeline_simulator(benchmark, dnn3_accelerator):
+    """Cycle-level tile-pipeline simulation of a full DNN."""
+    latency = benchmark(lambda: TilePipelineSimulator(dnn3_accelerator).latency_ms())
+    assert latency > 0
+
+
+def test_component_hls_codegen(benchmark, dnn3_accelerator):
+    """Auto-HLS C code generation for a full accelerator."""
+    design = benchmark(lambda: HLSCodeGenerator(dnn3_accelerator, design_name="dnn3").generate())
+    assert design.total_lines > 100
+
+
+def test_component_synthetic_dataset(benchmark):
+    """Synthetic data generation throughput."""
+    dataset = SyntheticDetectionDataset(image_shape=(3, 32, 64), num_samples=64, seed=0)
+    images, boxes = benchmark(lambda: dataset.as_arrays(range(32)))
+    assert images.shape[0] == 32 and boxes.shape == (32, 4)
+
+
+def test_component_numpy_training_epoch(benchmark):
+    """One proxy-training epoch of a small detector on the tiny task."""
+    dataset = SyntheticDetectionDataset(
+        image_shape=TINY_DETECTION_TASK.input_shape, num_samples=32, seed=0
+    )
+    x, y = dataset.as_arrays()
+    model = Sequential([
+        Conv2D(3, 8, 3, stride=2, rng=0), ReLU4(),
+        Conv2D(8, 16, 3, stride=2, rng=1), ReLU4(),
+        BBoxHead(16, rng=2),
+    ])
+    trainer = Trainer(model, loss="smooth_l1", lr=1e-3, batch_size=8, metric_fn=mean_iou, rng=0)
+    loss = benchmark(lambda: trainer.train_epoch(x, y))
+    assert np.isfinite(loss)

@@ -1,0 +1,44 @@
+"""Fig. 4 — coarse-grained bundle evaluation (both construction methods).
+
+Regenerates the bubble-plot source data of Fig. 4 (a) and (b): latency,
+accuracy and resource usage of DNNs built from each of the 18 bundle
+candidates under parallel factors {4, 8, 16}, plus the per-resource-group
+Pareto sets and the selected bundles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.accuracy_model import SurrogateAccuracyModel
+from repro.experiments.fig4 import report_fig4, run_fig4
+
+
+@pytest.mark.paper_artifact("fig4")
+def test_fig4_coarse_bundle_evaluation(benchmark, print_report):
+    result = benchmark.pedantic(
+        lambda: run_fig4(accuracy_model=SurrogateAccuracyModel()),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    print_report("fig4", report_fig4(result).render())
+
+    # Shape checks mirroring the paper's observations.
+    assert result.pareto_overlap >= 0.5, "Pareto sets should be stable across methods"
+    assert any(b in result.selected for b in (13, 14, 15, 17, 18)), \
+        "a depth-wise separable bundle must be selected"
+    assert any(b in result.selected for b in (1, 2, 3)), \
+        "a convolution-heavy bundle must be selected"
+
+
+@pytest.mark.paper_artifact("fig4")
+def test_fig4_method1_only(benchmark):
+    """Micro-variant: method #1 evaluation only (the cheaper of the two panels)."""
+    from repro.core.bundle_evaluation import BundleEvaluator
+    from repro.core.bundle_generation import default_bundle_catalog
+    from repro.detection.task import DAC_SDC_TASK
+    from repro.hw.device import PYNQ_Z1
+
+    evaluator = BundleEvaluator(DAC_SDC_TASK, PYNQ_Z1, accuracy_model=SurrogateAccuracyModel())
+    bundles = default_bundle_catalog()
+    records = benchmark(lambda: evaluator.coarse_evaluate(bundles, parallel_factors=(16,), method=1))
+    assert len(records) == 18

@@ -1,0 +1,33 @@
+"""Fig. 5 — fine-grained evaluation of the selected bundles.
+
+Regenerates the scatter data of Fig. 5: the selected bundles evaluated with
+different replication counts and ReLU / ReLU8 / ReLU4 activations, and the
+per-bundle characterisation (bundles 1 / 3 favour accuracy, bundle 13 favours
+real-time designs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.accuracy_model import SurrogateAccuracyModel
+from repro.experiments.fig5 import report_fig5, run_fig5
+
+
+@pytest.mark.paper_artifact("fig5")
+def test_fig5_fine_grained_evaluation(benchmark, print_report):
+    result = benchmark.pedantic(
+        lambda: run_fig5(accuracy_model=SurrogateAccuracyModel()),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    print_report("fig5", report_fig5(result).render())
+
+    assert result.latency_leader() == 13, "Bundle 13 should favour real-time designs"
+    assert result.accuracy_leader() in (1, 3), "Bundles 1/3 should favour high accuracy"
+
+    extremes = result.per_bundle_extremes()
+    # Bundle 13 achieves its best latency below the conv bundles' best latency.
+    assert extremes[13]["best_latency_ms"] < extremes[1]["best_latency_ms"]
+    assert extremes[13]["best_latency_ms"] < extremes[3]["best_latency_ms"]
+    # ... at a lower accuracy ceiling (the trade-off Fig. 5 highlights).
+    assert extremes[13]["best_accuracy"] < extremes[3]["best_accuracy"]

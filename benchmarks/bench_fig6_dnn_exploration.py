@@ -1,0 +1,67 @@
+"""Fig. 6 — hardware-aware DNN exploration for the 10 / 15 / 20 FPS targets.
+
+Regenerates the exploration scatter of Fig. 6: Auto-DNN searches candidate
+DNNs for each FPS target using the selected bundles, and the highest-accuracy
+candidate per target is reported as the final design (DNN1-3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.detection.accuracy_model import SurrogateAccuracyModel
+from repro.experiments.fig6 import report_fig6, run_fig6
+
+
+@pytest.mark.paper_artifact("fig6")
+def test_fig6_dnn_exploration(benchmark, print_report):
+    result = benchmark.pedantic(
+        lambda: run_fig6(
+            candidates_per_bundle=2,
+            max_iterations=150,
+            accuracy_model=SurrogateAccuracyModel(),
+            rng=2019,
+        ),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print_report("fig6", report_fig6(result).render())
+
+    # Dozens of DNN models are explored across the targets (the paper: 68).
+    assert result.total_explored >= 10
+
+    best = result.best_accuracies()
+    found = {fps: v for fps, v in best.items() if not math.isnan(v)}
+    assert len(found) >= 2, "at least two FPS targets must yield a final design"
+
+    # Shape: a looser FPS target (10 FPS) never loses to the tightest one
+    # (20 FPS) by more than noise, because its feasible designs are larger.
+    if not math.isnan(best[10.0]) and not math.isnan(best[20.0]):
+        assert best[10.0] >= best[20.0] - 0.02
+
+    # The final designs come from the depth-wise separable / conv bundle mix,
+    # and all respect the device (their SCD estimates fit the PYNQ-Z1).
+    for fps, candidate in result.best.items():
+        if candidate is None:
+            continue
+        assert candidate.config.bundle.bundle_id in (1, 3, 13, 15, 17)
+        assert candidate.accuracy > 0.4
+
+
+@pytest.mark.paper_artifact("fig6")
+def test_fig6_single_target_search(benchmark):
+    """Micro-variant: one bundle, one target (the unit of Fig. 6's sweep)."""
+    from repro.core.auto_dnn import AutoDNN
+    from repro.core.bundle_generation import get_bundle
+    from repro.detection.task import DAC_SDC_TASK
+    from repro.experiments.fig6 import model_scale_target
+    from repro.hw.device import PYNQ_Z1
+
+    auto_dnn = AutoDNN(DAC_SDC_TASK, PYNQ_Z1, accuracy_model=SurrogateAccuracyModel(), rng=7)
+    target = model_scale_target(15.0)
+    candidates = benchmark.pedantic(
+        lambda: auto_dnn.search_bundle(get_bundle(13), target, num_candidates=2, max_iterations=100),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert isinstance(candidates, list)

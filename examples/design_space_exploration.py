@@ -1,0 +1,102 @@
+"""Design-space exploration studies around the paper's final designs.
+
+Three sweeps that illustrate how the co-design variables (Table 1) shape the
+implementation of the paper's DNN1 structure:
+
+* **device sweep** — the same DNN mapped to PYNQ-Z1, Ultra96 and ZC706,
+* **quantization sweep** — ReLU / ReLU8 / ReLU4 (16 / 10 / 8-bit feature
+  maps) and their latency / BRAM / accuracy trade-off,
+* **parallel-factor sweep** — latency and DSP/LUT utilization as PF grows
+  until the device is saturated.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.core.auto_hls import AutoHLS
+from repro.detection.accuracy_model import SurrogateAccuracyModel
+from repro.experiments.reference_designs import reference_dnn1
+from repro.hw.device import PYNQ_Z1, ULTRA96, ZC706
+from repro.utils.tables import render_table
+
+
+def device_sweep() -> str:
+    rows = []
+    for device in (PYNQ_Z1, ULTRA96, ZC706):
+        engine = AutoHLS(device)
+        config = reference_dnn1()
+        report = engine.generate(config).report
+        util = report.utilization.as_percent_dict()
+        rows.append([
+            device.name,
+            f"{device.default_clock_mhz:.0f} MHz",
+            f"{report.latency_ms:.1f} ms",
+            f"{report.fps:.1f}",
+            f"{util['dsp']:.0f}%",
+            f"{util['bram']:.0f}%",
+            "yes" if report.meets_timing else "no",
+        ])
+    return render_table(
+        ["device", "clock", "latency", "FPS", "DSP", "BRAM", "timing met"],
+        rows,
+        title="DNN1 mapped to different embedded FPGAs",
+    )
+
+
+def quantization_sweep() -> str:
+    engine = AutoHLS(PYNQ_Z1)
+    accuracy_model = SurrogateAccuracyModel()
+    rows = []
+    for activation in ("relu", "relu8", "relu4"):
+        config = reference_dnn1().with_updates(activation=activation, name=f"DNN1-{activation}")
+        report = engine.generate(config).report
+        accuracy = accuracy_model.predict(config.features(epochs=200))
+        rows.append([
+            activation,
+            f"{config.feature_bits}-bit",
+            f"{report.latency_ms:.1f} ms",
+            f"{report.resources.bram:.0f}",
+            f"{accuracy:.3f}",
+        ])
+    return render_table(
+        ["activation", "feature map", "latency", "BRAM blocks", "IoU"],
+        rows,
+        title="Activation-linked quantization trade-off (DNN1 structure)",
+    )
+
+
+def parallel_factor_sweep() -> str:
+    engine = AutoHLS(PYNQ_Z1)
+    rows = []
+    for pf in (16, 32, 64, 128, 256):
+        config = reference_dnn1().with_updates(parallel_factor=pf, name=f"DNN1-pf{pf}")
+        accelerator = engine.build_accelerator(config)
+        report = engine.generate(config).report
+        util = report.utilization.as_percent_dict()
+        rows.append([
+            pf,
+            f"{report.latency_ms:.1f} ms",
+            f"{util['dsp']:.0f}%",
+            f"{util['lut']:.0f}%",
+            "yes" if accelerator.fits() else "no",
+        ])
+    return render_table(
+        ["PF", "latency", "DSP", "LUT", "fits PYNQ-Z1"],
+        rows,
+        title="Parallel-factor sweep (DNN1 structure on PYNQ-Z1)",
+    )
+
+
+def main() -> None:
+    print(device_sweep())
+    print()
+    print(quantization_sweep())
+    print()
+    print(parallel_factor_sweep())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim so that ``pip install -e .`` works on minimal environments.
+
+All project metadata lives in ``pyproject.toml``; this file only exists to
+support legacy editable installs on systems without the ``wheel`` package.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Baseline designs the paper compares against in Table 2.
+
+Three FPGA-category entries (the 1st place is a compressed SSD detector) and
+three GPU-category entries (Yolo / Tiny-Yolo on an embedded GPU) from the
+2018 DAC System Design Contest.  Each baseline carries the metrics reported
+in the contest / paper and, where possible, a reconstructed workload so the
+same latency / power models used for our designs can re-derive its numbers.
+"""
+
+from repro.baselines.entries import (
+    ContestEntry,
+    fpga_contest_entries,
+    gpu_contest_entries,
+)
+from repro.baselines.workloads import ssd_compressed_workload, tiny_yolo_workload, yolo_workload
+from repro.baselines.topdown import TopDownFlow, TopDownResult
+
+__all__ = [
+    "ContestEntry",
+    "fpga_contest_entries",
+    "gpu_contest_entries",
+    "ssd_compressed_workload",
+    "tiny_yolo_workload",
+    "yolo_workload",
+    "TopDownFlow",
+    "TopDownResult",
+]

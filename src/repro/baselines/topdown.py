@@ -1,0 +1,143 @@
+"""The conventional top-down design flow used as a methodological baseline.
+
+Sec. 1 and Sec. 6 of the paper contrast the proposed co-design flow with the
+top-down approach the 1st-place FPGA team followed: start from a standard
+DNN detector designed purely for accuracy, then compress it (channel
+pruning / quantization) until it satisfies the hardware constraints.  This
+module implements that flow so the comparison can be re-run, and so an
+ablation can quantify how much the bottom-up co-design contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.detection.accuracy_model import AccuracyModel, CandidateFeatures, SurrogateAccuracyModel
+from repro.hw.analytical import DNNPerformanceModel
+from repro.hw.device import FPGADevice
+from repro.hw.resource import ResourceVector
+from repro.hw.tile_arch import TileArchAccelerator
+from repro.hw.workload import LayerWorkload, NetworkWorkload
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class TopDownResult:
+    """Outcome of the compress-until-it-fits flow."""
+
+    workload: NetworkWorkload
+    accuracy: float
+    latency_ms: float
+    resources: ResourceVector
+    compression_steps: int
+    pruning_ratio: float
+
+    @property
+    def fps(self) -> float:
+        return 1000.0 / self.latency_ms if self.latency_ms > 0 else float("inf")
+
+
+def _prune_channels(workload: NetworkWorkload, keep_ratio: float) -> NetworkWorkload:
+    """Uniformly prune every layer's channels by ``keep_ratio``."""
+    if not 0.0 < keep_ratio <= 1.0:
+        raise ValueError("keep_ratio must be in (0, 1]")
+    c_in_first = workload.layers[0].in_channels
+    pruned: list[LayerWorkload] = []
+    for layer in workload.layers:
+        in_c = layer.in_channels if layer.in_channels == c_in_first else max(
+            int(round(layer.in_channels * keep_ratio)), 4
+        )
+        out_c = layer.out_channels
+        if layer.kind != "head":
+            out_c = max(int(round(layer.out_channels * keep_ratio)), 4)
+        if layer.kind in ("dwconv", "pool", "activation", "norm"):
+            out_c = in_c
+        pruned.append(LayerWorkload(
+            kind=layer.kind, kernel=layer.kernel, in_channels=in_c, out_channels=out_c,
+            in_height=layer.in_height, in_width=layer.in_width, stride=layer.stride,
+            bundle_index=layer.bundle_index,
+        ))
+    return NetworkWorkload(
+        layers=pruned, input_shape=workload.input_shape,
+        weight_bits=workload.weight_bits, feature_bits=workload.feature_bits,
+        name=f"{workload.name}-pruned{keep_ratio:.2f}",
+        bundle_signature=workload.bundle_signature,
+    )
+
+
+class TopDownFlow:
+    """Compress a fixed accuracy-first detector until it meets the constraints."""
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        accuracy_model: Optional[AccuracyModel] = None,
+        parallel_factor: int = 64,
+        clock_mhz: Optional[float] = None,
+        prune_step: float = 0.85,
+        max_steps: int = 20,
+    ) -> None:
+        if not 0.0 < prune_step < 1.0:
+            raise ValueError("prune_step must be in (0, 1)")
+        self.device = device
+        self.accuracy_model = accuracy_model or SurrogateAccuracyModel()
+        self.parallel_factor = parallel_factor
+        self.clock_mhz = clock_mhz or device.default_clock_mhz
+        self.prune_step = prune_step
+        self.max_steps = max_steps
+
+    def _evaluate(self, workload: NetworkWorkload) -> tuple[float, ResourceVector]:
+        accelerator = TileArchAccelerator.build(
+            workload, self.device, parallel_factor=self.parallel_factor, clock_mhz=self.clock_mhz
+        )
+        estimate = DNNPerformanceModel(accelerator).estimate()
+        return estimate.latency_ms, estimate.resources
+
+    def _accuracy(self, workload: NetworkWorkload) -> float:
+        features = CandidateFeatures(
+            macs=float(workload.total_macs),
+            params=workload.total_params,
+            depth=workload.compute_depth,
+            max_channels=workload.max_channels,
+            num_downsamples=workload.num_downsamples,
+            feature_bits=workload.feature_bits,
+            weight_bits=workload.weight_bits,
+            bundle_signature=workload.bundle_signature,
+            input_pixels=workload.input_shape[1] * workload.input_shape[2],
+            epochs=200,
+        )
+        return self.accuracy_model.predict(features)
+
+    def run(
+        self, workload: NetworkWorkload, latency_budget_ms: float
+    ) -> TopDownResult:
+        """Prune until the design fits the device and the latency budget."""
+        if latency_budget_ms <= 0:
+            raise ValueError("latency_budget_ms must be positive")
+        current = workload
+        ratio = 1.0
+        steps = 0
+        latency, resources = self._evaluate(current)
+        while steps < self.max_steps and (
+            latency > latency_budget_ms or not self.device.fits(resources)
+        ):
+            ratio *= self.prune_step
+            current = _prune_channels(workload, ratio)
+            latency, resources = self._evaluate(current)
+            steps += 1
+        accuracy = self._accuracy(current)
+        logger.info(
+            "Top-down flow: %d compression steps, keep ratio %.2f, latency %.1f ms, IoU %.3f",
+            steps, ratio, latency, accuracy,
+        )
+        return TopDownResult(
+            workload=current,
+            accuracy=accuracy,
+            latency_ms=latency,
+            resources=resources,
+            compression_steps=steps,
+            pruning_ratio=ratio,
+        )

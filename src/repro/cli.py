@@ -1,0 +1,159 @@
+"""Command-line interface for the co-design flow and the experiments.
+
+Examples
+--------
+Run the full co-design flow on PYNQ-Z1::
+
+    repro-codesign codesign --device pynq-z1 --fps 10 15 20
+
+Regenerate a specific paper artefact::
+
+    repro-codesign experiment table2
+    repro-codesign experiment fig4
+
+Generate the accelerator C code for a reference design::
+
+    repro-codesign codegen --design DNN1 --output ./generated
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
+from repro.core.auto_hls import AutoHLS
+from repro.detection.task import DAC_SDC_TASK
+from repro.hw.device import get_device, list_devices
+from repro.utils.logging import configure_logging
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-codesign",
+        description="FPGA/DNN co-design (DAC 2019) reproduction",
+    )
+    parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    codesign = sub.add_parser("codesign", help="run the full co-design flow")
+    codesign.add_argument("--device", default="pynq-z1", help=f"target device ({', '.join(list_devices())})")
+    codesign.add_argument("--fps", type=float, nargs="+", default=[10.0, 15.0, 20.0],
+                          help="latency targets in frames per second")
+    codesign.add_argument("--tolerance-ms", type=float, default=8.0, help="latency tolerance band")
+    codesign.add_argument("--top-bundles", type=int, default=5, help="number of bundles to select")
+    codesign.add_argument("--candidates", type=int, default=2, help="candidates per bundle per target")
+    codesign.add_argument("--iterations", type=int, default=120, help="SCD iteration budget")
+    codesign.add_argument("--seed", type=int, default=2019, help="search seed")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
+    experiment.add_argument("name", choices=["fig4", "fig5", "fig6", "table2", "ablations"],
+                            help="which table / figure to regenerate")
+
+    codegen = sub.add_parser("codegen", help="generate accelerator C code for a reference design")
+    codegen.add_argument("--design", choices=["DNN1", "DNN2", "DNN3"], default="DNN1")
+    codegen.add_argument("--device", default="pynq-z1")
+    codegen.add_argument("--clock", type=float, default=100.0)
+    codegen.add_argument("--output", default="./generated", help="output directory")
+
+    bundles = sub.add_parser("bundles", help="list the default bundle catalogue")
+    del bundles
+    return parser
+
+
+def _run_codesign(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    targets = tuple(
+        LatencyTarget(fps=f, clock_mhz=device.default_clock_mhz, tolerance_ms=args.tolerance_ms)
+        for f in args.fps
+    )
+    inputs = CoDesignInputs(task=DAC_SDC_TASK, device=device, latency_targets=targets)
+    flow = CoDesignFlow(
+        inputs,
+        candidates_per_bundle=args.candidates,
+        top_n_bundles=args.top_bundles,
+        scd_iterations=args.iterations,
+        rng=args.seed,
+    )
+    result = flow.run()
+    print(result.summary())
+    return 0
+
+
+def _run_experiment(name: str) -> int:
+    if name == "fig4":
+        from repro.experiments.fig4 import report_fig4, run_fig4
+        print(report_fig4(run_fig4()).render())
+    elif name == "fig5":
+        from repro.experiments.fig5 import report_fig5, run_fig5
+        print(report_fig5(run_fig5()).render())
+    elif name == "fig6":
+        from repro.experiments.fig6 import report_fig6, run_fig6
+        print(report_fig6(run_fig6()).render())
+    elif name == "table2":
+        from repro.experiments.table2 import report_table2, run_table2
+        print(report_table2(run_table2()).render())
+    elif name == "ablations":
+        from repro.experiments.ablations import (
+            report_ablations,
+            run_codesign_vs_topdown,
+            run_quantization_sweep,
+            run_scd_vs_random,
+            run_tile_sweep,
+        )
+        report = report_ablations(
+            run_scd_vs_random(),
+            run_tile_sweep(),
+            run_quantization_sweep(),
+            run_codesign_vs_topdown(),
+        )
+        print(report.render())
+    else:  # pragma: no cover - argparse already restricts choices
+        raise ValueError(f"Unknown experiment '{name}'")
+    return 0
+
+
+def _run_codegen(args: argparse.Namespace) -> int:
+    from repro.experiments.reference_designs import reference_dnn1, reference_dnn2, reference_dnn3
+
+    design_map = {"DNN1": reference_dnn1, "DNN2": reference_dnn2, "DNN3": reference_dnn3}
+    config = design_map[args.design]()
+    device = get_device(args.device)
+    engine = AutoHLS(device, clock_mhz=args.clock)
+    result = engine.generate(config, clock_mhz=args.clock)
+    paths = result.design.write_to(args.output)
+    print(result.report.summary())
+    print("Generated files:")
+    for path in paths:
+        print(f"  {path}")
+    return 0
+
+
+def _run_bundles() -> int:
+    from repro.core.bundle_generation import default_bundle_catalog
+
+    for bundle in default_bundle_catalog():
+        print(f"{bundle.bundle_id:3d}  {bundle.signature}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-codesign`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    if args.command == "codesign":
+        return _run_codesign(args)
+    if args.command == "experiment":
+        return _run_experiment(args.name)
+    if args.command == "codegen":
+        return _run_codegen(args)
+    if args.command == "bundles":
+        return _run_bundles()
+    parser.error(f"Unknown command {args.command}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The FPGA/DNN co-design methodology (the paper's primary contribution).
+
+Components (Sec. 3.2 of the paper):
+
+* **Bundle-Arch** (:mod:`repro.core.bundle`, :mod:`repro.core.bundle_generation`)
+  — the hardware-aware DNN building-block template and the automatic bundle
+  generation from the IP pool,
+* **Auto-DNN** (:mod:`repro.core.bundle_evaluation`, :mod:`repro.core.scd`,
+  :mod:`repro.core.auto_dnn`) — bundle evaluation / selection and the
+  hardware-aware DNN search with stochastic coordinate descent,
+* **Tile-Arch** lives in :mod:`repro.hw.tile_arch`,
+* **Auto-HLS** (:mod:`repro.core.auto_hls`) — accelerator generation and
+  latency / resource feedback,
+* the overall three-step co-design flow (:mod:`repro.core.codesign`).
+"""
+
+from repro.core.design_space import CoDesignSpace, DesignPoint
+from repro.core.bundle import Bundle, LayerSpec
+from repro.core.bundle_generation import default_bundle_catalog, generate_bundles
+from repro.core.dnn_config import DNNConfig
+from repro.core.constraints import LatencyTarget, ResourceConstraint
+from repro.core.pareto import pareto_front
+from repro.core.bundle_evaluation import (
+    BundleEvaluation,
+    BundleEvaluator,
+    FineGrainedEvaluation,
+)
+from repro.core.scd import SCDUnit, SCDResult
+from repro.core.auto_hls import AutoHLS, AutoHLSResult
+from repro.core.auto_dnn import AutoDNN, DNNCandidate
+from repro.core.codesign import CoDesignFlow, CoDesignInputs, CoDesignResult
+
+__all__ = [
+    "CoDesignSpace",
+    "DesignPoint",
+    "Bundle",
+    "LayerSpec",
+    "default_bundle_catalog",
+    "generate_bundles",
+    "DNNConfig",
+    "LatencyTarget",
+    "ResourceConstraint",
+    "pareto_front",
+    "BundleEvaluation",
+    "BundleEvaluator",
+    "FineGrainedEvaluation",
+    "SCDUnit",
+    "SCDResult",
+    "AutoHLS",
+    "AutoHLSResult",
+    "AutoDNN",
+    "DNNCandidate",
+    "CoDesignFlow",
+    "CoDesignInputs",
+    "CoDesignResult",
+]

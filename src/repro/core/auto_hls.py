@@ -1,0 +1,138 @@
+"""Auto-HLS: accelerator generation and precise performance feedback.
+
+Auto-HLS plays two roles in the co-design flow (Fig. 1):
+
+* during modelling (Co-Design Step 1), it samples representative
+  configurations to fit the analytical-model coefficients (alpha, beta,
+  Gamma, phi, gamma),
+* during search (Co-Design Step 3), it takes the DNNs produced by the SCD
+  unit, generates their accelerators (synthesizable C code) and returns the
+  more precise latency / resource results which are fed back to the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.dnn_config import DNNConfig
+from repro.hw.analytical import (
+    AnalyticalModelCoefficients,
+    DEFAULT_COEFFICIENTS,
+    DNNPerformanceModel,
+    PerformanceEstimate,
+)
+from repro.hw.device import FPGADevice
+from repro.hw.hls.codegen import GeneratedDesign, HLSCodeGenerator
+from repro.hw.hls.report import HLSReport
+from repro.hw.hls.synthesis import HLSSynthesisSimulator
+from repro.hw.sampling import SamplingResult, fit_coefficients
+from repro.hw.tile_arch import TileArchAccelerator
+from repro.hw.workload import NetworkWorkload
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class AutoHLSResult:
+    """Everything Auto-HLS produces for one candidate DNN."""
+
+    config: DNNConfig
+    accelerator: TileArchAccelerator
+    design: GeneratedDesign
+    report: HLSReport
+    analytical: PerformanceEstimate
+
+    @property
+    def latency_ms(self) -> float:
+        """Post-synthesis latency (the precise feedback value)."""
+        return self.report.latency_ms
+
+    @property
+    def fps(self) -> float:
+        return self.report.fps
+
+
+class AutoHLS:
+    """Automatic accelerator generation for searched DNNs."""
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        clock_mhz: Optional[float] = None,
+        coefficients: AnalyticalModelCoefficients = DEFAULT_COEFFICIENTS,
+    ) -> None:
+        self.device = device
+        self.clock_mhz = clock_mhz or device.default_clock_mhz
+        self.coefficients = coefficients
+
+    # ----------------------------------------------------------- accelerator
+    def build_accelerator(
+        self, config: DNNConfig, clock_mhz: Optional[float] = None
+    ) -> TileArchAccelerator:
+        """Assemble the Tile-Arch accelerator for a candidate DNN."""
+        workload = config.to_workload()
+        return TileArchAccelerator.build(
+            workload,
+            self.device,
+            parallel_factor=config.parallel_factor,
+            clock_mhz=clock_mhz or self.clock_mhz,
+        )
+
+    def estimate(self, config: DNNConfig) -> PerformanceEstimate:
+        """Fast analytical latency / resource estimate (used inside SCD)."""
+        accelerator = self.build_accelerator(config)
+        return DNNPerformanceModel(accelerator, self.coefficients).estimate()
+
+    # --------------------------------------------------------------- synthesis
+    def generate(
+        self,
+        config: DNNConfig,
+        clock_mhz: Optional[float] = None,
+        include_support_files: bool = True,
+    ) -> AutoHLSResult:
+        """Generate C code, synthesise it and return the full result.
+
+        When ``include_support_files`` is true the generated bundle also
+        contains a C testbench, the HLS synthesis Tcl script and a Makefile,
+        so it can be handed to an HLS tool as-is.
+        """
+        accelerator = self.build_accelerator(config, clock_mhz=clock_mhz)
+        generator = HLSCodeGenerator(accelerator, design_name=config.display_name.replace("-", "_"))
+        design = generator.generate()
+        if include_support_files:
+            from repro.hw.hls.testbench import generate_support_files
+
+            design.extra_files.update(generate_support_files(design, accelerator))
+        report = HLSSynthesisSimulator(accelerator).synthesise(design)
+        analytical = DNNPerformanceModel(accelerator, self.coefficients).estimate()
+        logger.debug("Auto-HLS generated %s: %s", design.name, report.summary())
+        return AutoHLSResult(
+            config=config,
+            accelerator=accelerator,
+            design=design,
+            report=report,
+            analytical=analytical,
+        )
+
+    # ---------------------------------------------------------------- fitting
+    def fit_models(
+        self, sample_workloads: list[NetworkWorkload], parallel_factor: int = 8
+    ) -> SamplingResult:
+        """Fit the analytical-model coefficients from sampled configurations.
+
+        The fitted coefficients are stored on the engine and used by all
+        subsequent :meth:`estimate` calls.
+        """
+        result = fit_coefficients(
+            sample_workloads, self.device, parallel_factor=parallel_factor, base=self.coefficients
+        )
+        self.coefficients = result.coefficients
+        logger.info(
+            "Auto-HLS sampling fitted alpha=%.3f beta=%.3f (mean rel. err. %.1f%%)",
+            result.coefficients.alpha,
+            result.coefficients.beta,
+            100.0 * result.mean_relative_error,
+        )
+        return result

@@ -1,0 +1,59 @@
+"""Pareto-front utilities used by the bundle evaluation step."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T],
+    cost: Callable[[T], float],
+    value: Callable[[T], float],
+) -> list[T]:
+    """Return the items that are Pareto-optimal for (minimise cost, maximise value).
+
+    An item is dominated when another item has *both* a lower-or-equal cost
+    and a higher-or-equal value, with at least one strict inequality.  The
+    returned list is sorted by increasing cost.
+    """
+    items = list(items)
+    front: list[T] = []
+    for candidate in items:
+        dominated = False
+        for other in items:
+            if other is candidate:
+                continue
+            better_cost = cost(other) <= cost(candidate)
+            better_value = value(other) >= value(candidate)
+            strictly = cost(other) < cost(candidate) or value(other) > value(candidate)
+            if better_cost and better_value and strictly:
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=cost)
+
+
+def group_by(
+    items: Iterable[T], key: Callable[[T], float], num_groups: int
+) -> dict[int, list[T]]:
+    """Partition ``items`` into ``num_groups`` equal-width bins of ``key``.
+
+    Used to group bundles "with similar resource usage (e.g. DSPs)" before
+    per-group Pareto selection, as described in Sec. 5.1.1.
+    """
+    items = list(items)
+    if not items:
+        return {}
+    if num_groups <= 0:
+        raise ValueError("num_groups must be positive")
+    keys = [key(item) for item in items]
+    lo, hi = min(keys), max(keys)
+    width = (hi - lo) / num_groups if hi > lo else 1.0
+    groups: dict[int, list[T]] = {}
+    for item, k in zip(items, keys):
+        index = min(int((k - lo) / width), num_groups - 1) if width > 0 else 0
+        groups.setdefault(index, []).append(item)
+    return groups

@@ -1,0 +1,249 @@
+"""Stochastic Coordinate Descent (SCD) DNN search unit (Algorithm 1).
+
+Given an initial candidate DNN, a latency target with a tolerance band and a
+resource constraint, the SCD unit repeatedly perturbs the candidate along one
+of three coordinates chosen uniformly at random:
+
+* ``N`` — the number of bundle replications,
+* ``Pi`` — the channel-expansion configuration,
+* ``X`` — the down-sampling configuration,
+
+estimating the latency change of a unit move along each coordinate and
+scaling the applied step by ``|Lat_target - Lat| / dLat`` so that larger
+latency gaps translate into larger structural moves.  Moves that would
+violate the resource constraint are rejected.  Every time the candidate's
+estimated latency falls inside the tolerance band it is recorded, and the
+search continues until ``K`` candidates have been collected (or the move
+budget is exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.constraints import LatencyTarget, ResourceConstraint
+from repro.core.dnn_config import DNNConfig
+from repro.hw.analytical import PerformanceEstimate
+from repro.utils.logging import get_logger
+from repro.utils.rng import RNGLike, ensure_rng
+
+logger = get_logger(__name__)
+
+#: Channel-expansion factors available to the SCD unit (Sec. 5.2.2).
+EXPANSION_FACTORS: tuple[float, ...] = (1.2, 1.3, 1.5, 1.75, 2.0)
+
+#: An estimator maps a candidate configuration to (latency, resources).
+Estimator = Callable[[DNNConfig], PerformanceEstimate]
+
+
+@dataclass
+class SCDResult:
+    """Outcome of one SCD search run."""
+
+    candidates: list[DNNConfig]
+    estimates: list[PerformanceEstimate]
+    iterations: int
+    converged: bool
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+class SCDUnit:
+    """The stochastic coordinate descent search of Algorithm 1."""
+
+    def __init__(
+        self,
+        estimator: Estimator,
+        latency_target: LatencyTarget,
+        resource_constraint: ResourceConstraint,
+        max_repetitions: int = 8,
+        max_iterations: int = 400,
+        rng: RNGLike = None,
+    ) -> None:
+        if max_repetitions <= 0 or max_iterations <= 0:
+            raise ValueError("max_repetitions and max_iterations must be positive")
+        self.estimator = estimator
+        self.latency_target = latency_target
+        self.resource_constraint = resource_constraint
+        self.max_repetitions = max_repetitions
+        self.max_iterations = max_iterations
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------- moves
+    def _move_n(self, config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
+        """Add / remove bundle replications."""
+        new_reps = config.num_repetitions + direction * max(steps, 1)
+        new_reps = max(1, min(new_reps, self.max_repetitions))
+        if new_reps == config.num_repetitions:
+            return None
+        expansion = list(config.channel_expansion)
+        downsample = list(config.downsample)
+        while len(expansion) < new_reps:
+            expansion.append(expansion[-1])
+            downsample.append(0)
+        expansion = expansion[:new_reps]
+        downsample = downsample[:new_reps]
+        return config.with_updates(
+            num_repetitions=new_reps,
+            channel_expansion=tuple(expansion),
+            downsample=tuple(downsample),
+        )
+
+    def _move_pi(self, config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
+        """Grow / shrink channel-expansion factors.
+
+        A unit move shifts one repetition's expansion factor to the next
+        (or previous) value of the discrete factor set; larger steps shift
+        more repetitions.
+        """
+        expansion = list(config.channel_expansion)
+        order = range(len(expansion)) if direction > 0 else range(len(expansion) - 1, -1, -1)
+        changed = 0
+        for index in order:
+            if changed >= max(steps, 1):
+                break
+            current = expansion[index]
+            # Snap to the closest allowed factor, then move one notch.
+            closest = min(range(len(EXPANSION_FACTORS)),
+                          key=lambda i: abs(EXPANSION_FACTORS[i] - current))
+            target = closest + (1 if direction > 0 else -1)
+            if 0 <= target < len(EXPANSION_FACTORS):
+                expansion[index] = EXPANSION_FACTORS[target]
+                changed += 1
+        if not changed:
+            return None
+        return config.with_updates(channel_expansion=tuple(expansion))
+
+    def _move_x(self, config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
+        """Insert / remove down-sampling layers.
+
+        Removing a down-sample (direction > 0) keeps feature maps larger and
+        therefore *increases* latency; inserting one (direction < 0)
+        decreases it.
+        """
+        downsample = list(config.downsample)
+        changed = 0
+        if direction > 0:
+            for i in range(len(downsample) - 1, -1, -1):
+                if changed >= max(steps, 1):
+                    break
+                if downsample[i] == 1 and sum(downsample) > 1:
+                    downsample[i] = 0
+                    changed += 1
+        else:
+            for i in range(len(downsample)):
+                if changed >= max(steps, 1):
+                    break
+                if downsample[i] == 0:
+                    downsample[i] = 1
+                    changed += 1
+        if not changed:
+            return None
+        return config.with_updates(downsample=tuple(downsample))
+
+    # ------------------------------------------------------------ search loop
+    def _latency(self, config: DNNConfig) -> PerformanceEstimate:
+        return self.estimator(config)
+
+    def _direction_towards_target(self, latency_gap_ms: float) -> int:
+        """+1 grows the network (raises latency), -1 shrinks it."""
+        return 1 if latency_gap_ms > 0 else -1
+
+    def search(self, initial: DNNConfig, num_candidates: int = 3) -> SCDResult:
+        """Run Algorithm 1 starting from ``initial`` until K candidates are found."""
+        if num_candidates <= 0:
+            raise ValueError("num_candidates must be positive")
+        target_ms = self.latency_target.latency_ms
+        moves = {
+            "N": self._move_n,
+            "Pi": self._move_pi,
+            "X": self._move_x,
+        }
+
+        current = initial
+        candidates: list[DNNConfig] = []
+        estimates: list[PerformanceEstimate] = []
+        seen: set[str] = set()
+        iterations = 0
+
+        while len(candidates) < num_candidates and iterations < self.max_iterations:
+            iterations += 1
+            estimate = self._latency(current)
+            lat = estimate.latency_ms
+            gap = target_ms - lat
+
+            if self.latency_target.within_band(lat) and self.resource_constraint.satisfied_by(
+                estimate.resources
+            ):
+                key = current.describe()
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(current)
+                    estimates.append(estimate)
+                    logger.debug(
+                        "SCD candidate %d/%d: %.1f ms (target %.1f ms)",
+                        len(candidates), num_candidates, lat, target_ms,
+                    )
+                # Perturb away from the accepted candidate to find a distinct one.
+                current = self._perturb(current)
+                continue
+
+            direction = self._direction_towards_target(gap)
+
+            # Estimate the latency change of a unit move along each coordinate.
+            deltas: dict[str, tuple[DNNConfig, float]] = {}
+            for name, move in moves.items():
+                unit = move(current, direction, steps=1)
+                if unit is None:
+                    continue
+                unit_latency = self._latency(unit).latency_ms
+                delta = unit_latency - lat
+                if abs(delta) > 1e-9:
+                    deltas[name] = (unit, delta)
+            if not deltas:
+                current = self._perturb(current)
+                continue
+
+            # Pick one coordinate uniformly at random (line 10 of Algorithm 1).
+            name = list(deltas)[int(self.rng.integers(0, len(deltas)))]
+            _, unit_delta = deltas[name]
+            steps = max(int(abs(gap) // abs(unit_delta)), 1)
+            proposal = moves[name](current, direction, steps=steps) or deltas[name][0]
+
+            proposal_estimate = self._latency(proposal)
+            if self.resource_constraint.satisfied_by(proposal_estimate.resources):
+                current = proposal
+            else:
+                # Resource violation: fall back to the unit move if it fits,
+                # otherwise shrink the network.
+                unit_config, _ = deltas[name]
+                unit_estimate = self._latency(unit_config)
+                if self.resource_constraint.satisfied_by(unit_estimate.resources):
+                    current = unit_config
+                else:
+                    shrunk = self._move_pi(current, -1) or self._move_n(current, -1)
+                    current = shrunk or current
+
+        converged = len(candidates) >= num_candidates
+        if not converged:
+            logger.warning(
+                "SCD stopped after %d iterations with %d/%d candidates",
+                iterations, len(candidates), num_candidates,
+            )
+        return SCDResult(
+            candidates=candidates,
+            estimates=estimates,
+            iterations=iterations,
+            converged=converged,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _perturb(self, config: DNNConfig) -> DNNConfig:
+        """Random small perturbation used to diversify accepted candidates."""
+        choice = int(self.rng.integers(0, 3))
+        direction = 1 if self.rng.random() < 0.5 else -1
+        move = [self._move_n, self._move_pi, self._move_x][choice]
+        perturbed = move(config, direction, steps=1)
+        return perturbed or config

@@ -1,0 +1,52 @@
+"""Intersection-over-Union metrics on ``(cx, cy, w, h)`` boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _to_corners(boxes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Convert centre-format boxes to ``(x1, y1, x2, y2)`` corner arrays."""
+    boxes = np.atleast_2d(np.asarray(boxes, dtype=np.float64))
+    x1 = boxes[:, 0] - boxes[:, 2] / 2.0
+    y1 = boxes[:, 1] - boxes[:, 3] / 2.0
+    x2 = boxes[:, 0] + boxes[:, 2] / 2.0
+    y2 = boxes[:, 1] + boxes[:, 3] / 2.0
+    return x1, y1, x2, y2
+
+
+def box_iou(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Element-wise IoU between two arrays of boxes.
+
+    Parameters
+    ----------
+    pred, target:
+        Arrays of shape ``(N, 4)`` (or a single box of shape ``(4,)``) in
+        normalised centre format ``(cx, cy, w, h)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        IoU per pair, shape ``(N,)``.
+    """
+    px1, py1, px2, py2 = _to_corners(pred)
+    tx1, ty1, tx2, ty2 = _to_corners(target)
+    if px1.shape != tx1.shape:
+        raise ValueError("pred and target must contain the same number of boxes")
+
+    ix1 = np.maximum(px1, tx1)
+    iy1 = np.maximum(py1, ty1)
+    ix2 = np.minimum(px2, tx2)
+    iy2 = np.minimum(py2, ty2)
+    inter = np.clip(ix2 - ix1, 0.0, None) * np.clip(iy2 - iy1, 0.0, None)
+
+    area_p = np.clip(px2 - px1, 0.0, None) * np.clip(py2 - py1, 0.0, None)
+    area_t = np.clip(tx2 - tx1, 0.0, None) * np.clip(ty2 - ty1, 0.0, None)
+    union = area_p + area_t - inter
+    iou = np.where(union > 0.0, inter / np.maximum(union, 1e-12), 0.0)
+    return iou
+
+
+def mean_iou(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean IoU over a batch — the DAC-SDC accuracy measure."""
+    return float(np.mean(box_iou(pred, target)))

@@ -1,0 +1,29 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each module corresponds to one artefact of the evaluation section:
+
+* :mod:`repro.experiments.fig4` — coarse-grained bundle evaluation (Fig. 4),
+* :mod:`repro.experiments.fig5` — fine-grained bundle evaluation (Fig. 5),
+* :mod:`repro.experiments.fig6` — DNN exploration for the 10/15/20 FPS
+  targets (Fig. 6),
+* :mod:`repro.experiments.table2` — the board-level comparison against the
+  FPGA- and GPU-category contest winners (Table 2) and the headline claims,
+* :mod:`repro.experiments.reference_designs` — the DNN1-3 configurations
+  described in Fig. 6,
+* :mod:`repro.experiments.ablations` — additional studies of the co-design
+  choices (SCD vs. random search, tile-size sweep, quantization sweep).
+"""
+
+from repro.experiments.reference_designs import (
+    reference_dnn1,
+    reference_dnn2,
+    reference_dnn3,
+    reference_designs,
+)
+
+__all__ = [
+    "reference_dnn1",
+    "reference_dnn2",
+    "reference_dnn3",
+    "reference_designs",
+]

@@ -1,0 +1,143 @@
+"""Fig. 6: hardware-aware DNN exploration for the 10 / 15 / 20 FPS targets.
+
+Auto-DNN searches DNN candidates for each latency target using the selected
+bundles; all explored DNNs whose latency falls inside the target band are
+collected (the paper reports 68 such models built from 5 bundles), and the
+best-accuracy candidate per target becomes the final design (DNN1-3).
+
+Latency targets are specified at board scale (the paper's 10/15/20 FPS at
+100 MHz) and converted to the model's scale with the calibration constant
+``MODEL_TO_BOARD_LATENCY_GAP`` documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.auto_dnn import AutoDNN, DNNCandidate
+from repro.core.bundle import Bundle
+from repro.core.bundle_generation import get_bundle
+from repro.core.constraints import LatencyTarget
+from repro.detection.accuracy_model import AccuracyModel
+from repro.detection.task import DAC_SDC_TASK, DetectionTask
+from repro.experiments.fig5 import FIG5_BUNDLE_IDS
+from repro.experiments.reporting import ExperimentReport, MODEL_TO_BOARD_LATENCY_GAP
+from repro.hw.device import FPGADevice, PYNQ_Z1
+from repro.utils.rng import RNGLike
+
+
+@dataclass
+class Fig6Result:
+    """Explored DNNs per FPS target and the chosen final designs."""
+
+    targets: list[LatencyTarget]
+    board_fps_targets: list[float]
+    candidates: dict[float, list[DNNCandidate]]
+    best: dict[float, Optional[DNNCandidate]]
+
+    @property
+    def total_explored(self) -> int:
+        return sum(len(v) for v in self.candidates.values())
+
+    def best_accuracies(self) -> dict[float, float]:
+        """Best IoU per board-scale FPS target (nan when no candidate)."""
+        return {
+            fps: (cand.accuracy if cand is not None else float("nan"))
+            for fps, cand in self.best.items()
+        }
+
+
+def model_scale_target(board_fps: float, clock_mhz: float = 100.0, tolerance_ms: float = 6.0) -> LatencyTarget:
+    """Translate a board-scale FPS target into a model-scale latency target."""
+    board_latency_ms = 1000.0 / board_fps
+    model_latency_ms = board_latency_ms / MODEL_TO_BOARD_LATENCY_GAP
+    return LatencyTarget(
+        fps=1000.0 / model_latency_ms,
+        clock_mhz=clock_mhz,
+        tolerance_ms=tolerance_ms,
+    )
+
+
+def run_fig6(
+    task: DetectionTask = DAC_SDC_TASK,
+    device: FPGADevice = PYNQ_Z1,
+    board_fps_targets: Sequence[float] = (10.0, 15.0, 20.0),
+    bundles: Optional[Sequence[Bundle]] = None,
+    activations: Sequence[str] = ("relu4", "relu"),
+    candidates_per_bundle: int = 2,
+    max_iterations: int = 150,
+    accuracy_model: Optional[AccuracyModel] = None,
+    rng: RNGLike = 2019,
+) -> Fig6Result:
+    """Search DNNs for every FPS target with the selected bundles."""
+    if bundles is None:
+        bundles = [get_bundle(i) for i in FIG5_BUNDLE_IDS]
+    auto_dnn = AutoDNN(task, device, accuracy_model=accuracy_model, rng=rng)
+
+    targets = [model_scale_target(fps) for fps in board_fps_targets]
+    candidates: dict[float, list[DNNCandidate]] = {}
+    best: dict[float, Optional[DNNCandidate]] = {}
+    for board_fps, target in zip(board_fps_targets, targets):
+        found: list[DNNCandidate] = []
+        for bundle in bundles:
+            for activation in activations:
+                found.extend(auto_dnn.search_bundle(
+                    bundle, target, activation=activation,
+                    num_candidates=candidates_per_bundle,
+                    max_iterations=max_iterations,
+                ))
+        candidates[board_fps] = found
+        best[board_fps] = max(found, key=lambda c: c.accuracy, default=None)
+    return Fig6Result(
+        targets=targets,
+        board_fps_targets=list(board_fps_targets),
+        candidates=candidates,
+        best=best,
+    )
+
+
+def report_fig6(result: Fig6Result) -> ExperimentReport:
+    """Render the exploration results: all candidates plus the final designs."""
+    report = ExperimentReport("Fig. 6 — DNNs explored for the 10/15/20 FPS targets")
+    rows = []
+    for board_fps in result.board_fps_targets:
+        for cand in sorted(result.candidates[board_fps], key=lambda c: -c.accuracy):
+            cfg = cand.config
+            rows.append([
+                f"{board_fps:.0f} FPS",
+                cfg.bundle.bundle_id,
+                cfg.bundle.signature,
+                cfg.num_repetitions,
+                max(cfg.channel_schedule()),
+                f"{cfg.feature_bits}-bit ({cfg.activation})",
+                f"{cand.latency_ms:.1f}",
+                f"{cand.fps:.1f}",
+                f"{cand.accuracy:.3f}",
+            ])
+    report.add_table(
+        ["target", "bundle", "composition", "reps", "max_ch", "feature map", "latency_ms", "FPS", "IoU"],
+        rows,
+    )
+    final_rows = []
+    for i, board_fps in enumerate(result.board_fps_targets, start=1):
+        cand = result.best[board_fps]
+        if cand is None:
+            final_rows.append([f"DNN{i}", f"{board_fps:.0f} FPS", "-", "-", "-", "-", "-"])
+            continue
+        cfg = cand.config
+        final_rows.append([
+            f"DNN{i}",
+            f"{board_fps:.0f} FPS",
+            f"Bundle {cfg.bundle.bundle_id} <{cfg.bundle.signature}>",
+            f"{cfg.num_repetitions} replications",
+            f"max {max(cfg.channel_schedule())} channels",
+            f"{cfg.feature_bits}-bit fm ({cfg.activation})",
+            f"IoU {cand.accuracy:.3f}",
+        ])
+    report.add_table(
+        ["design", "target", "bundle", "depth", "width", "quantization", "accuracy"],
+        final_rows,
+        title=f"Final designs ({result.total_explored} DNN models explored in total)",
+    )
+    return report

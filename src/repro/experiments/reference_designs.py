@@ -1,0 +1,80 @@
+"""The final designs DNN1-3 reported in Fig. 6 / Table 2.
+
+Fig. 6 gives the structure of the three final designs:
+
+* **DNN1** — Bundle 13 (dw-conv3x3 + conv1x1), 5 bundle replications,
+  maximum 512 channels, 8-bit feature maps (ReLU4); targets 10 FPS.
+* **DNN2** — Bundle 13, 4 replications, maximum 384 channels, 16-bit feature
+  maps (ReLU); targets 15 FPS.
+* **DNN3** — Bundle 13, 4 replications, maximum 384 channels, 8-bit feature
+  maps (ReLU4); targets 20 FPS.
+
+These reference configurations are used by the Table 2 experiment and by
+tests; the search experiment (Fig. 6) re-discovers designs of the same shape
+from scratch.
+"""
+
+from __future__ import annotations
+
+from repro.core.bundle_generation import get_bundle
+from repro.core.dnn_config import DNNConfig
+from repro.detection.task import DAC_SDC_TASK, DetectionTask
+
+#: Parallel factor that saturates the PYNQ-Z1 DSPs with 8-bit weights.
+_REFERENCE_PF = 128
+
+
+def reference_dnn1(task: DetectionTask = DAC_SDC_TASK) -> DNNConfig:
+    """DNN1: the highest-accuracy design (10 FPS target)."""
+    return DNNConfig(
+        bundle=get_bundle(13),
+        task=task,
+        num_repetitions=5,
+        channel_expansion=(2.0, 2.0, 2.0, 1.75, 1.3),
+        downsample=(1, 1, 1, 0, 1),
+        stem_channels=48,
+        activation="relu4",
+        weight_bits=8,
+        parallel_factor=_REFERENCE_PF,
+        max_channels=512,
+        name="DNN1",
+    )
+
+
+def reference_dnn2(task: DetectionTask = DAC_SDC_TASK) -> DNNConfig:
+    """DNN2: the balanced design (15 FPS target, 16-bit feature maps)."""
+    return DNNConfig(
+        bundle=get_bundle(13),
+        task=task,
+        num_repetitions=4,
+        channel_expansion=(2.0, 2.0, 1.75, 1.3),
+        downsample=(1, 1, 1, 1),
+        stem_channels=48,
+        activation="relu",
+        weight_bits=8,
+        parallel_factor=_REFERENCE_PF,
+        max_channels=384,
+        name="DNN2",
+    )
+
+
+def reference_dnn3(task: DetectionTask = DAC_SDC_TASK) -> DNNConfig:
+    """DNN3: the highest-FPS design (20 FPS target)."""
+    return DNNConfig(
+        bundle=get_bundle(13),
+        task=task,
+        num_repetitions=4,
+        channel_expansion=(2.0, 2.0, 1.75, 1.3),
+        downsample=(1, 1, 1, 1),
+        stem_channels=48,
+        activation="relu4",
+        weight_bits=8,
+        parallel_factor=_REFERENCE_PF,
+        max_channels=384,
+        name="DNN3",
+    )
+
+
+def reference_designs(task: DetectionTask = DAC_SDC_TASK) -> list[DNNConfig]:
+    """The three final designs, in the order of Table 2."""
+    return [reference_dnn1(task), reference_dnn2(task), reference_dnn3(task)]

@@ -1,0 +1,13 @@
+"""Embedded-GPU baseline substrate.
+
+The GPU entries in Table 2 run Yolo / Tiny-Yolo on an embedded GPU clocked
+at 854 MHz (a Jetson-TX2-class device).  This package provides a roofline
+latency model and a power model for such a device so the GPU comparison rows
+can be re-derived instead of only quoted.
+"""
+
+from repro.gpu.device import GPUDevice, JETSON_TX2
+from repro.gpu.latency import GPULatencyModel
+from repro.gpu.power import GPUPowerModel
+
+__all__ = ["GPUDevice", "JETSON_TX2", "GPULatencyModel", "GPUPowerModel"]

@@ -1,0 +1,60 @@
+"""Embedded GPU device descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """An embedded GPU and its board-level characteristics.
+
+    Attributes
+    ----------
+    name:
+        Device name.
+    clock_mhz:
+        GPU core clock.
+    cuda_cores:
+        Number of CUDA cores (2 FLOPs per core per cycle for FMA).
+    memory_bandwidth_gbps:
+        DRAM bandwidth in GB/s.
+    idle_power_w:
+        Board idle power.
+    max_power_w:
+        Board power at full load.
+    """
+
+    name: str
+    clock_mhz: float
+    cuda_cores: int
+    memory_bandwidth_gbps: float
+    idle_power_w: float
+    max_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0 or self.cuda_cores <= 0:
+            raise ValueError("clock and core counts must be positive")
+        if self.max_power_w <= self.idle_power_w:
+            raise ValueError("max_power_w must exceed idle_power_w")
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        """Peak multiply-accumulate throughput (one MAC per core per cycle)."""
+        return self.cuda_cores * self.clock_mhz * 1e6
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOPs (2 FLOPs per MAC)."""
+        return 2.0 * self.peak_macs_per_second / 1e9
+
+
+#: Jetson-TX2-class embedded GPU at the contest clock of 854 MHz.
+JETSON_TX2 = GPUDevice(
+    name="Jetson TX2 (854 MHz)",
+    clock_mhz=854.0,
+    cuda_cores=256,
+    memory_bandwidth_gbps=58.3,
+    idle_power_w=4.5,
+    max_power_w=15.0,
+)

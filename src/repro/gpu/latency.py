@@ -1,0 +1,64 @@
+"""Roofline latency model for embedded GPU DNN inference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import GPUDevice
+from repro.hw.workload import NetworkWorkload
+
+
+@dataclass
+class GPULatencyModel:
+    """Roofline-style latency estimate.
+
+    For every layer, the latency is the maximum of the compute-bound time
+    (MACs over effective throughput) and the memory-bound time (bytes moved
+    over bandwidth), plus a fixed per-layer kernel-launch overhead — the
+    dominant costs of embedded-GPU inference frameworks.
+
+    Parameters
+    ----------
+    device:
+        The GPU device.
+    compute_efficiency:
+        Fraction of peak MAC throughput achieved by convolution kernels.
+    memory_efficiency:
+        Fraction of peak DRAM bandwidth achieved.
+    kernel_launch_us:
+        Per-layer kernel launch / synchronisation overhead in microseconds.
+    """
+
+    device: GPUDevice
+    compute_efficiency: float = 0.42
+    memory_efficiency: float = 0.60
+    kernel_launch_us: float = 55.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0.0 < self.memory_efficiency <= 1.0:
+            raise ValueError("memory_efficiency must be in (0, 1]")
+
+    def layer_latency_ms(self, macs: float, traffic_bytes: float) -> float:
+        """Latency of one layer given its MACs and memory traffic."""
+        compute_s = macs / (self.device.peak_macs_per_second * self.compute_efficiency)
+        memory_s = traffic_bytes / (
+            self.device.memory_bandwidth_gbps * 1e9 * self.memory_efficiency
+        )
+        return (max(compute_s, memory_s) + self.kernel_launch_us * 1e-6) * 1e3
+
+    def latency_ms(self, workload: NetworkWorkload, precision_bytes: float = 4.0) -> float:
+        """End-to-end single-frame latency for ``workload``."""
+        total = 0.0
+        for layer in workload.layers:
+            if layer.kind in ("activation", "norm"):
+                continue  # fused into the preceding kernel by inference engines
+            traffic = (layer.input_elements + layer.output_elements + layer.params) * precision_bytes
+            total += self.layer_latency_ms(layer.macs, traffic)
+        return total
+
+    def fps(self, workload: NetworkWorkload, precision_bytes: float = 4.0) -> float:
+        """Throughput in frames per second."""
+        latency = self.latency_ms(workload, precision_bytes)
+        return 1000.0 / latency if latency > 0 else float("inf")

@@ -1,0 +1,57 @@
+"""Power / energy model for embedded GPU inference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import GPUDevice
+from repro.hw.power import EnergyReport
+
+
+@dataclass
+class GPUPowerModel:
+    """Board power as idle power plus load-dependent dynamic power.
+
+    Parameters
+    ----------
+    device:
+        The GPU device.
+    utilization:
+        Average GPU utilization while running inference (DNN inference on
+        embedded GPUs rarely saturates the device).
+    """
+
+    device: GPUDevice
+    utilization: float = 0.72
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+
+    def board_power_w(self) -> float:
+        """Board power while running inference."""
+        dynamic_range = self.device.max_power_w - self.device.idle_power_w
+        return self.device.idle_power_w + self.utilization * dynamic_range
+
+    def energy_report(
+        self,
+        latency_ms: float,
+        num_frames: int = 50_000,
+        overhead_ms_per_frame: float = 0.0,
+    ) -> EnergyReport:
+        """Energy accounting for a ``num_frames`` evaluation run."""
+        if latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+        power = self.board_power_w()
+        frame_time_ms = latency_ms + overhead_ms_per_frame
+        fps = 1000.0 / frame_time_ms
+        total_time_s = frame_time_ms * num_frames / 1000.0
+        total_energy_j = power * total_time_s
+        return EnergyReport(
+            power_w=power,
+            latency_ms=latency_ms,
+            fps=fps,
+            total_energy_kj=total_energy_j / 1000.0,
+            energy_per_frame_j=total_energy_j / num_frames,
+            num_frames=num_frames,
+        )

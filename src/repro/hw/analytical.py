@@ -1,0 +1,223 @@
+"""Analytical Bundle / DNN performance and resource models (Eqs. 1-5).
+
+These models provide the fast latency / resource estimates used inside the
+DNN search loop, where invoking the full tile-pipeline simulator for every
+SCD move would be too slow.  Their coefficients (alpha, beta, Gamma, phi,
+gamma) are fitted against the simulator by :mod:`repro.hw.sampling`, which
+plays the role of the paper's "Auto-HLS sampling".
+
+The equations implemented here:
+
+* ``Res_bund_i  = sum_j Res_j + Gamma_i``                      (Eq. 1)
+* ``Lat_bund_i  = alpha_i * sum_j Comp_j + beta_i * Theta(Data_i) / bw``  (Eq. 2)
+* ``Comp_j      = sum reuse_j * lat_j``                        (Eq. 3)
+* ``Lat_DNN     = sum_i Lat_bund_i + phi * Lat_DM``            (Eq. 4)
+* ``Res_DNN     = Res_bund + gamma * Res_ctl``                 (Eq. 5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hw.device import FPGADevice
+from repro.hw.memory import DRAMTrafficModel
+from repro.hw.resource import ResourceVector
+from repro.hw.tile_arch import CONTROL_OVERHEAD, TileArchAccelerator
+from repro.hw.workload import LayerWorkload, NetworkWorkload
+
+
+@dataclass(frozen=True)
+class AnalyticalModelCoefficients:
+    """Fitted coefficients of the analytical models.
+
+    Attributes
+    ----------
+    alpha:
+        Compute-overlap factor of Eq. 2 (1.0 = no overlap between IPs;
+        values below 1.0 mean tile-level pipelining hides part of the
+        compute).
+    beta:
+        Data-transfer overlap factor of Eq. 2 (fraction of the on-/off-chip
+        data movement that is *not* hidden behind computation).
+    gamma_lut, gamma_ff, gamma_bram:
+        Per-bundle glue-logic overhead (the Gamma term of Eq. 1).
+    phi:
+        Weight of the inter-bundle data-movement latency in Eq. 4.
+    ctl_gamma:
+        Weight of the control-logic overhead in Eq. 5.
+    """
+
+    alpha: float = 0.72
+    beta: float = 0.38
+    gamma_lut: float = 850.0
+    gamma_ff: float = 1200.0
+    gamma_bram: float = 2.0
+    phi: float = 1.0
+    ctl_gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta < 0:
+            raise ValueError("alpha must be positive and beta non-negative")
+        if self.phi < 0 or self.ctl_gamma < 0:
+            raise ValueError("phi and ctl_gamma must be non-negative")
+
+    def with_updates(self, **kwargs) -> "AnalyticalModelCoefficients":
+        """Return a copy with selected coefficients replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default coefficients; refined by Auto-HLS sampling for each bundle.
+DEFAULT_COEFFICIENTS = AnalyticalModelCoefficients()
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """Latency and resource estimate of a design."""
+
+    latency_ms: float
+    resources: ResourceVector
+    compute_ms: float = 0.0
+    data_movement_ms: float = 0.0
+
+    @property
+    def fps(self) -> float:
+        """Frames per second corresponding to the single-frame latency."""
+        if self.latency_ms <= 0:
+            return float("inf")
+        return 1000.0 / self.latency_ms
+
+
+class BundlePerformanceModel:
+    """Latency / resource model of one Bundle repetition (Eqs. 1-3)."""
+
+    def __init__(
+        self,
+        accelerator: TileArchAccelerator,
+        coefficients: AnalyticalModelCoefficients = DEFAULT_COEFFICIENTS,
+    ) -> None:
+        self.accelerator = accelerator
+        self.coefficients = coefficients
+        self.dram = DRAMTrafficModel(accelerator.device)
+
+    # --------------------------------------------------------------- latency
+    def compute_latency_cycles(self, layers: list[LayerWorkload]) -> float:
+        """The ``sum_j Comp_j`` term of Eq. 2: IP compute, reuse-weighted (Eq. 3)."""
+        acc = self.accelerator
+        total = 0.0
+        for layer in layers:
+            instance = acc.bundle_hw.instance_for(layer)
+            reuse = acc.tiles_per_layer(layer)
+            tile_cycles = instance.cycles_for_layer_share(layer, reuse)
+            total += reuse * tile_cycles
+        return total
+
+    def data_amount_bytes(self, layers: list[LayerWorkload]) -> float:
+        """``Theta(Data_i)``: bytes moved for the bundle's inputs and outputs."""
+        if not layers:
+            return 0.0
+        feature_bits = self.accelerator.workload.feature_bits
+        input_bytes = layers[0].input_elements * feature_bits / 8.0
+        output_bytes = layers[-1].output_elements * feature_bits / 8.0
+        weight_bytes = sum(l.params for l in layers) * self.accelerator.workload.weight_bits / 8.0
+        return input_bytes + output_bytes + weight_bytes
+
+    def latency_ms(self, layers: list[LayerWorkload]) -> PerformanceEstimate:
+        """Eq. 2 latency of one bundle repetition."""
+        coeff = self.coefficients
+        cycles = self.compute_latency_cycles(layers)
+        compute_ms = cycles / (self.accelerator.clock_mhz * 1e3)
+        data_bytes = self.data_amount_bytes(layers)
+        transfer_ms = self.dram.transfer_latency_ms(data_bytes, bursts=max(len(layers), 1))
+        latency = coeff.alpha * compute_ms + coeff.beta * transfer_ms
+        return PerformanceEstimate(
+            latency_ms=latency,
+            resources=self.resources(),
+            compute_ms=coeff.alpha * compute_ms,
+            data_movement_ms=coeff.beta * transfer_ms,
+        )
+
+    # -------------------------------------------------------------- resources
+    def resources(self) -> ResourceVector:
+        """Eq. 1 resource usage of the bundle hardware."""
+        acc = self.accelerator
+        coeff = self.coefficients
+        max_in = max((l.in_channels for l in acc.workload.layers if l.is_compute),
+                     default=acc.workload.max_channels)
+        max_out = max((l.out_channels for l in acc.workload.layers if l.is_compute),
+                      default=acc.workload.max_channels)
+        total = ResourceVector.zero()
+        for instance in acc.bundle_hw.instances:
+            total = total + instance.resources(acc.tile.tile_width, max_in, max_out)
+        gamma = ResourceVector(
+            lut=coeff.gamma_lut * len(acc.bundle_hw.instances),
+            ff=coeff.gamma_ff * len(acc.bundle_hw.instances),
+            dsp=0.0,
+            bram=coeff.gamma_bram,
+        )
+        return total + gamma
+
+
+class DNNPerformanceModel:
+    """Whole-DNN latency / resource model (Eqs. 4-5)."""
+
+    def __init__(
+        self,
+        accelerator: TileArchAccelerator,
+        coefficients: AnalyticalModelCoefficients = DEFAULT_COEFFICIENTS,
+    ) -> None:
+        self.accelerator = accelerator
+        self.coefficients = coefficients
+        self.bundle_model = BundlePerformanceModel(accelerator, coefficients)
+        self.dram = DRAMTrafficModel(accelerator.device)
+
+    def estimate(self) -> PerformanceEstimate:
+        """Eq. 4 latency and Eq. 5 resources of the full DNN."""
+        workload = self.accelerator.workload
+        coeff = self.coefficients
+
+        total_latency = 0.0
+        compute_ms = 0.0
+        transfer_ms = 0.0
+        indices = workload.bundle_indices()
+        groups: list[list[LayerWorkload]]
+        if indices:
+            groups = [workload.layers_in_bundle(i) for i in indices]
+            stray = [l for l in workload.layers if l.bundle_index < 0]
+            if stray:
+                groups.append(stray)
+        else:
+            groups = [list(workload.layers)]
+        for layers in groups:
+            est = self.bundle_model.latency_ms(layers)
+            total_latency += est.latency_ms
+            compute_ms += est.compute_ms
+            transfer_ms += est.data_movement_ms
+
+        # phi * Lat_DM: inter-bundle data movement plus frame I/O.
+        lat_dm = (
+            self.dram.inter_bundle_latency_ms(workload)
+            + self.dram.input_output_latency_ms(workload)
+        )
+        total_latency += coeff.phi * lat_dm
+        transfer_ms += coeff.phi * lat_dm
+
+        # Eq. 5: the folded architecture shares one bundle's hardware across
+        # repetitions, so the DNN resource is the bundle resource plus buffers
+        # and control overhead.
+        resources = (
+            self.bundle_model.resources()
+            + self.accelerator.buffers.as_resource()
+            + CONTROL_OVERHEAD.scale(coeff.ctl_gamma)
+        )
+        return PerformanceEstimate(
+            latency_ms=total_latency,
+            resources=resources,
+            compute_ms=compute_ms,
+            data_movement_ms=transfer_ms,
+        )
+
+    def latency_ms(self) -> float:
+        return self.estimate().latency_ms
+
+    def resources(self) -> ResourceVector:
+        return self.estimate().resources

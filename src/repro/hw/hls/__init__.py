@@ -1,0 +1,34 @@
+"""Auto-HLS backend: C code generation and simulated synthesis.
+
+The paper's Auto-HLS engine generates synthesizable C code for the
+Tile-Arch accelerator of each explored DNN and feeds the synthesis results
+(latency, resource usage) back to the search.  This package provides:
+
+* :mod:`repro.hw.hls.codegen` — generation of HLS-style C code (IP function
+  calls, weight loading, tile buffering, the top-level dataflow function),
+* :mod:`repro.hw.hls.synthesis` — a deterministic stand-in for the Vivado
+  HLS synthesis step, backed by the tile-pipeline simulator and the
+  accelerator resource model,
+* :mod:`repro.hw.hls.report` — the synthesis report data structure.
+"""
+
+from repro.hw.hls.codegen import HLSCodeGenerator, GeneratedDesign
+from repro.hw.hls.report import HLSReport
+from repro.hw.hls.synthesis import HLSSynthesisSimulator
+from repro.hw.hls.testbench import (
+    generate_makefile,
+    generate_support_files,
+    generate_synthesis_script,
+    generate_testbench,
+)
+
+__all__ = [
+    "HLSCodeGenerator",
+    "GeneratedDesign",
+    "HLSReport",
+    "HLSSynthesisSimulator",
+    "generate_testbench",
+    "generate_synthesis_script",
+    "generate_makefile",
+    "generate_support_files",
+]

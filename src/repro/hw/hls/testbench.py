@@ -1,0 +1,145 @@
+"""Testbench and synthesis-script generation for Auto-HLS designs.
+
+A real HLS hand-off needs more than the kernel source: a C testbench that
+drives the accelerator with a frame of data and checks the interface, and a
+synthesis script (Tcl) that creates the project, sets the clock and runs
+C synthesis / co-simulation / export.  Auto-HLS emits both so the generated
+bundle is directly usable with an HLS tool.
+"""
+
+from __future__ import annotations
+
+from repro.hw.hls.codegen import GeneratedDesign
+from repro.hw.tile_arch import TileArchAccelerator
+
+TESTBENCH_TEMPLATE = """\
+// Auto-generated testbench for {design_name}
+// Drives one frame of synthetic input through the accelerator and checks
+// that the output box lies in the normalised range.
+#include <cstdio>
+#include <cstdlib>
+#include "{design_name}.h"
+
+#define INPUT_CHANNELS {in_channels}
+#define INPUT_HEIGHT   {in_height}
+#define INPUT_WIDTH    {in_width}
+#define NUM_WEIGHTS    {num_weights}
+#define NUM_OUTPUTS    {num_outputs}
+
+static data_t   frame[INPUT_CHANNELS * INPUT_HEIGHT * INPUT_WIDTH];
+static data_t   result[INPUT_CHANNELS * INPUT_HEIGHT * INPUT_WIDTH];
+static weight_t weights[NUM_WEIGHTS];
+
+int main() {{
+  // Synthetic frame: a bright square on a dark background.
+  for (int i = 0; i < INPUT_CHANNELS * INPUT_HEIGHT * INPUT_WIDTH; i++) {{
+    frame[i] = (data_t)(i % 7);
+  }}
+  for (int h = INPUT_HEIGHT / 4; h < INPUT_HEIGHT / 2; h++) {{
+    for (int w = INPUT_WIDTH / 4; w < INPUT_WIDTH / 2; w++) {{
+      frame[(0 * INPUT_HEIGHT + h) * INPUT_WIDTH + w] = (data_t)96;
+    }}
+  }}
+  // Deterministic pseudo-random weights.
+  unsigned seed = 2019u;
+  for (int i = 0; i < NUM_WEIGHTS; i++) {{
+    seed = seed * 1664525u + 1013904223u;
+    weights[i] = (weight_t)((seed >> 24) % 17 - 8);
+  }}
+
+  {design_name}(frame, result, weights);
+
+  int errors = 0;
+  for (int i = 0; i < NUM_OUTPUTS; i++) {{
+    if (result[i] < (data_t)(-128) || result[i] > (data_t)127) {{
+      errors++;
+    }}
+  }}
+  if (errors) {{
+    printf("FAIL: %d out-of-range outputs\\n", errors);
+    return 1;
+  }}
+  printf("PASS: accelerator produced %d outputs\\n", NUM_OUTPUTS);
+  return 0;
+}}
+"""
+
+SYNTHESIS_SCRIPT_TEMPLATE = """\
+# Auto-generated HLS synthesis script for {design_name}
+# Usage: vitis_hls -f run_hls.tcl   (or vivado_hls -f run_hls.tcl)
+open_project {design_name}_prj
+set_top {design_name}
+add_files {design_name}.cpp
+add_files -tb {design_name}_tb.cpp
+open_solution "solution1"
+set_part {{{part}}}
+create_clock -period {clock_period_ns:.2f} -name default
+csim_design
+csynth_design
+cosim_design
+export_design -format ip_catalog
+exit
+"""
+
+MAKEFILE_TEMPLATE = """\
+# Auto-generated Makefile for the {design_name} accelerator bundle
+DESIGN := {design_name}
+
+csim: $(DESIGN).cpp $(DESIGN)_tb.cpp
+\tg++ -std=c++11 -I. -D__SIM__ -o $(DESIGN)_csim $(DESIGN)_tb.cpp
+\t./$(DESIGN)_csim
+
+hls:
+\tvitis_hls -f run_hls.tcl
+
+clean:
+\trm -rf $(DESIGN)_csim $(DESIGN)_prj *.log
+"""
+
+#: FPGA part numbers used in the generated synthesis scripts.
+DEVICE_PARTS = {
+    "PYNQ-Z1": "xc7z020clg400-1",
+    "Ultra96": "xczu3eg-sbva484-1-e",
+    "ZC706": "xc7z045ffg900-2",
+}
+
+
+def generate_testbench(design: GeneratedDesign, accelerator: TileArchAccelerator) -> str:
+    """Generate the C testbench for a generated design."""
+    workload = accelerator.workload
+    c, h, w = workload.input_shape
+    return TESTBENCH_TEMPLATE.format(
+        design_name=design.name,
+        in_channels=c,
+        in_height=h,
+        in_width=w,
+        num_weights=max(workload.total_params, 1),
+        num_outputs=4,
+    )
+
+
+def generate_synthesis_script(design: GeneratedDesign, accelerator: TileArchAccelerator) -> str:
+    """Generate the Tcl script that synthesises the design for its device."""
+    device = accelerator.device
+    part = DEVICE_PARTS.get(device.name, "xc7z020clg400-1")
+    return SYNTHESIS_SCRIPT_TEMPLATE.format(
+        design_name=design.name,
+        part=part,
+        clock_period_ns=device.cycle_time_ns(accelerator.clock_mhz),
+    )
+
+
+def generate_makefile(design: GeneratedDesign) -> str:
+    """Generate a Makefile for C simulation and HLS synthesis."""
+    return MAKEFILE_TEMPLATE.format(design_name=design.name)
+
+
+def generate_support_files(
+    design: GeneratedDesign, accelerator: TileArchAccelerator
+) -> dict[str, str]:
+    """All supporting files of the hand-off bundle (testbench, Tcl, Makefile)."""
+    return {
+        f"{design.name}_tb.cpp": generate_testbench(design, accelerator),
+        "run_hls.tcl": generate_synthesis_script(design, accelerator),
+        "Makefile": generate_makefile(design),
+    }

@@ -1,0 +1,66 @@
+"""Weight initialisation schemes for the numpy DNN framework."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+def _fan_in_out(shape: Sequence[int]) -> tuple[int, int]:
+    """Compute fan-in / fan-out for dense and convolutional weight shapes."""
+    if len(shape) == 2:  # dense: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def he_normal(shape: Sequence[int], rng: RNGLike = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation — suited to ReLU-family networks."""
+    generator = ensure_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return generator.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Sequence[int], rng: RNGLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    generator = ensure_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return generator.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: Sequence[int], rng: RNGLike = None) -> np.ndarray:
+    """All-zeros initialisation (biases, batch-norm shifts)."""
+    del rng
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Sequence[int], rng: RNGLike = None) -> np.ndarray:
+    """All-ones initialisation (batch-norm scales)."""
+    del rng
+    return np.ones(shape, dtype=np.float32)
+
+
+_INITIALIZERS = {
+    "he_normal": he_normal,
+    "xavier_uniform": xavier_uniform,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises ``KeyError`` for unknown names."""
+    if name not in _INITIALIZERS:
+        raise KeyError(
+            f"Unknown initializer '{name}'. Available: {sorted(_INITIALIZERS)}"
+        )
+    return _INITIALIZERS[name]

@@ -1,0 +1,112 @@
+"""Activation layers.
+
+The paper's fine-grained bundle evaluation (Fig. 5) varies the activation
+between ReLU, ReLU4 and ReLU8.  Clipped activations bound the dynamic range
+of the feature maps, which is what enables narrow fixed-point feature-map
+quantization on the accelerator: ReLU4 supports 8-bit feature maps, while
+unbounded ReLU needs 16-bit feature maps (see Fig. 6 annotations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.base import Layer
+
+
+class ClippedReLU(Layer):
+    """ReLU with an optional upper bound ``clip``; ``clip=None`` is plain ReLU."""
+
+    layer_type = "activation"
+
+    #: feature-map bit width that the accelerator can use under this clip
+    feature_map_bits: int = 16
+
+    def __init__(self, clip: Optional[float] = None, name: Optional[str] = None) -> None:
+        super().__init__(name=name or ("relu" if clip is None else f"relu{int(clip)}"))
+        if clip is not None and clip <= 0:
+            raise ValueError("clip must be positive or None")
+        self.clip = clip
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.clipped_relu(x, self.clip)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * F.clipped_relu_grad(self._x, self.clip)
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        return int(np.prod(input_shape))
+
+
+class ReLU(ClippedReLU):
+    """Unbounded ReLU; requires 16-bit feature maps on the accelerator."""
+
+    feature_map_bits = 16
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(clip=None, name=name or "relu")
+
+
+class ReLU4(ClippedReLU):
+    """ReLU clipped at 4; enables 8-bit feature maps on the accelerator."""
+
+    feature_map_bits = 8
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(clip=4.0, name=name or "relu4")
+
+
+class ReLU8(ClippedReLU):
+    """ReLU clipped at 8; enables 10-bit feature maps on the accelerator."""
+
+    feature_map_bits = 10
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(clip=8.0, name=name or "relu8")
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid; used by the bounding-box regression head."""
+
+    layer_type = "activation"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name or "sigmoid")
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = F.sigmoid(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        return int(np.prod(input_shape))
+
+
+ACTIVATION_REGISTRY = {
+    "relu": ReLU,
+    "relu4": ReLU4,
+    "relu8": ReLU8,
+    "sigmoid": Sigmoid,
+}
+
+
+def make_activation(name: str) -> Layer:
+    """Instantiate an activation layer by its lower-case name."""
+    key = name.lower()
+    if key not in ACTIVATION_REGISTRY:
+        raise KeyError(
+            f"Unknown activation '{name}'. Available: {sorted(ACTIVATION_REGISTRY)}"
+        )
+    return ACTIVATION_REGISTRY[key]()

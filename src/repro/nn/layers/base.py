@@ -1,0 +1,97 @@
+"""Layer and Parameter abstractions.
+
+Layers are stateful objects exposing ``forward`` / ``backward`` and a list of
+trainable :class:`Parameter` objects.  Gradients are accumulated into
+``Parameter.grad`` during the backward pass and consumed by the optimizers in
+:mod:`repro.nn.optim`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward`, :meth:`backward`,
+    :meth:`output_shape`, and optionally override :meth:`num_ops` /
+    :meth:`num_params` so that the hardware models can query workload sizes
+    without running any data through the network.
+    """
+
+    #: short type tag used by the hardware mapping (e.g. ``"conv"``)
+    layer_type: str = "generic"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or type(self).__name__
+        self.training = True
+
+    # ------------------------------------------------------------------ API
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> Iterable[Parameter]:
+        """Trainable parameters of this layer (empty for stateless layers)."""
+        return []
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of the output given an input shape ``(C, H, W)``."""
+        return input_shape
+
+    def num_params(self) -> int:
+        """Number of trainable scalars in the layer."""
+        return sum(p.size for p in self.parameters())
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        """Number of multiply-accumulate operations for one input sample."""
+        del input_shape
+        return 0
+
+    # --------------------------------------------------------------- helpers
+    def train(self) -> None:
+        """Put the layer into training mode (affects dropout / batch norm)."""
+        self.training = True
+
+    def eval(self) -> None:
+        """Put the layer into inference mode."""
+        self.training = False
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,189 @@
+"""Convolutional layers: standard and depth-wise 2-D convolutions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer, Parameter
+from repro.utils.rng import RNGLike
+
+
+class Conv2D(Layer):
+    """Standard 2-D convolution.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel size (1, 3 or 5 in the paper's IP pool, but any odd
+        size is supported).
+    stride:
+        Spatial stride.
+    padding:
+        Zero padding; ``None`` selects "same" padding for stride 1.
+    use_bias:
+        Whether a per-channel bias is learned.
+    """
+
+    layer_type = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        use_bias: bool = True,
+        initializer: str = "he_normal",
+        rng: RNGLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name or f"conv{kernel_size}x{kernel_size}")
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("Channel counts must be positive")
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.use_bias = use_bias
+
+        init = get_initializer(initializer)
+        self.weight = Parameter(
+            init((out_channels, in_channels, kernel_size, kernel_size), rng=rng),
+            name=f"{self.name}.weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(out_channels, dtype=np.float32), name=f"{self.name}.bias")
+            if use_bias
+            else None
+        )
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------ API
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bias = self.bias.value if self.bias is not None else None
+        out, col = F.conv2d_forward(x, self.weight.value, bias, self.stride, self.padding)
+        self._cache = (x.shape, col)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, col = self._cache
+        grad_in, grad_w, grad_b = F.conv2d_backward(
+            grad_out, x_shape, col, self.weight.value, self.stride, self.padding
+        )
+        self.weight.grad += grad_w
+        if self.bias is not None:
+            self.bias.grad += grad_b
+        return grad_in
+
+    def parameters(self) -> Iterable[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {c}"
+            )
+        out_h = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        _, out_h, out_w = self.output_shape(input_shape)
+        macs_per_pixel = self.in_channels * self.kernel_size**2
+        return int(self.out_channels * out_h * out_w * macs_per_pixel)
+
+
+class DepthwiseConv2D(Layer):
+    """Depth-wise 2-D convolution (one filter per input channel)."""
+
+    layer_type = "dwconv"
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        use_bias: bool = True,
+        initializer: str = "he_normal",
+        rng: RNGLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name or f"dwconv{kernel_size}x{kernel_size}")
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        self.channels = channels
+        self.in_channels = channels
+        self.out_channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.use_bias = use_bias
+
+        init = get_initializer(initializer)
+        self.weight = Parameter(
+            init((channels, 1, kernel_size, kernel_size), rng=rng),
+            name=f"{self.name}.weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(channels, dtype=np.float32), name=f"{self.name}.bias")
+            if use_bias
+            else None
+        )
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bias = self.bias.value if self.bias is not None else None
+        out, cols = F.depthwise_conv2d_forward(
+            x, self.weight.value, bias, self.stride, self.padding
+        )
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, cols = self._cache
+        grad_in, grad_w, grad_b = F.depthwise_conv2d_backward(
+            grad_out, x_shape, cols, self.weight.value, self.stride, self.padding
+        )
+        self.weight.grad += grad_w
+        if self.bias is not None:
+            self.bias.grad += grad_b
+        return grad_in
+
+    def parameters(self) -> Iterable[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.channels:
+            raise ValueError(
+                f"{self.name}: expected {self.channels} input channels, got {c}"
+            )
+        out_h = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (c, out_h, out_w)
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        c, out_h, out_w = self.output_shape(input_shape)
+        return int(c * out_h * out_w * self.kernel_size**2)

@@ -1,0 +1,121 @@
+"""Generic layers: flatten, dense, dropout."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer, Parameter
+from repro.utils.rng import RNGLike, ensure_rng
+
+
+class Flatten(Layer):
+    """Flatten ``(N, C, H, W)`` into ``(N, C*H*W)``."""
+
+    layer_type = "reshape"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name or "flatten")
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._x_shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+class Dense(Layer):
+    """Fully connected layer operating on ``(N, features)`` inputs."""
+
+    layer_type = "dense"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        initializer: str = "he_normal",
+        rng: RNGLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name or "dense")
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        init = get_initializer(initializer)
+        self.weight = Parameter(init((in_features, out_features), rng=rng), name=f"{self.name}.weight")
+        self.bias = (
+            Parameter(np.zeros(out_features, dtype=np.float32), name=f"{self.name}.bias")
+            if use_bias
+            else None
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_out
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> Iterable[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.out_features,)
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        del input_shape
+        return int(self.in_features * self.out_features)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity during inference."""
+
+    layer_type = "dropout"
+
+    def __init__(self, rate: float = 0.5, rng: RNGLike = None, name: Optional[str] = None) -> None:
+        super().__init__(name=name or "dropout")
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = ensure_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,74 @@
+"""Bounding-box regression head for the DAC-SDC-style detection task.
+
+The DAC-SDC task is single-object detection: for every image the network
+predicts one bounding box.  The head reduces the final feature map with a
+1x1 convolution followed by global average pooling and a sigmoid, producing
+four normalised coordinates ``(cx, cy, w, h)`` in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pooling import GlobalAvgPool2D
+from repro.nn.layers.activation import Sigmoid
+from repro.utils.rng import RNGLike
+
+
+class BBoxHead(Layer):
+    """Single-object bounding-box regression head.
+
+    Output shape is ``(N, 4)`` with coordinates ``(cx, cy, w, h)`` in
+    ``[0, 1]`` relative to the image size.
+    """
+
+    layer_type = "head"
+
+    def __init__(self, in_channels: int, rng: RNGLike = None, name: Optional[str] = None) -> None:
+        super().__init__(name=name or "bbox_head")
+        self.in_channels = in_channels
+        self.conv = Conv2D(in_channels, 4, kernel_size=1, rng=rng, name=f"{self.name}.conv1x1")
+        self.pool = GlobalAvgPool2D(name=f"{self.name}.gap")
+        self.sigmoid = Sigmoid(name=f"{self.name}.sigmoid")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.conv(x)
+        out = self.pool(out)
+        out = self.sigmoid(out)
+        return out.reshape(out.shape[0], 4)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out.reshape(grad_out.shape[0], 4, 1, 1)
+        grad = self.sigmoid.backward(grad)
+        grad = self.pool.backward(grad)
+        return self.conv.backward(grad)
+
+    def parameters(self) -> Iterable[Parameter]:
+        return list(self.conv.parameters())
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, _, _ = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {c}"
+            )
+        return (4,)
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        return self.conv.num_ops(input_shape)
+
+    def train(self) -> None:
+        super().train()
+        self.conv.train()
+        self.pool.train()
+        self.sigmoid.train()
+
+    def eval(self) -> None:
+        super().eval()
+        self.conv.eval()
+        self.pool.eval()
+        self.sigmoid.eval()

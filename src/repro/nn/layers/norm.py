@@ -1,0 +1,94 @@
+"""Batch normalisation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalisation for ``NCHW`` tensors.
+
+    During training the layer normalises with the batch statistics and keeps
+    exponential moving averages; during inference it uses the running
+    statistics (which is also what the FPGA accelerator folds into the
+    preceding convolution weights at deployment time).
+    """
+
+    layer_type = "norm"
+
+    def __init__(
+        self,
+        channels: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name or "batchnorm")
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        if not 0.0 < momentum < 1.0:
+            raise ValueError("momentum must be in (0, 1)")
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32), name=f"{self.name}.gamma")
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32), name=f"{self.name}.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.channels:
+            raise ValueError(
+                f"{self.name}: expected {self.channels} channels, got {x.shape[1]}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        out = self.gamma.value[None, :, None, None] * x_hat + self.beta.value[None, :, None, None]
+        self._cache = (x_hat, std)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, std = self._cache
+        n, _, h, w = grad_out.shape
+        m = n * h * w
+
+        self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+
+        gamma = self.gamma.value[None, :, None, None]
+        grad_xhat = grad_out * gamma
+        # Standard batch-norm backward; the three terms correspond to the
+        # direct path, the mean path, and the variance path.
+        grad_in = (
+            grad_xhat
+            - grad_xhat.mean(axis=(0, 2, 3), keepdims=True)
+            - x_hat * (grad_xhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        ) / std[None, :, None, None]
+        del m
+        return grad_in
+
+    def parameters(self) -> Iterable[Parameter]:
+        return [self.gamma, self.beta]
+
+    def num_ops(self, input_shape: tuple[int, ...]) -> int:
+        return int(2 * np.prod(input_shape))

@@ -1,0 +1,119 @@
+"""Loss functions for bounding-box regression.
+
+All losses operate on box tensors of shape ``(N, 4)`` with normalised
+``(cx, cy, w, h)`` coordinates and return ``(value, grad_wrt_pred)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Base class: callables returning ``(scalar_loss, gradient)``."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error over all coordinates."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class L1Loss(Loss):
+    """Mean absolute error over all coordinates."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        loss = float(np.mean(np.abs(diff)))
+        grad = np.sign(diff) / diff.size
+        return loss, grad
+
+
+class SmoothL1Loss(Loss):
+    """Huber-style smooth L1 loss commonly used for box regression."""
+
+    def __init__(self, beta: float = 0.1) -> None:
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.beta = beta
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        abs_diff = np.abs(diff)
+        quadratic = abs_diff < self.beta
+        loss_elem = np.where(
+            quadratic, 0.5 * diff**2 / self.beta, abs_diff - 0.5 * self.beta
+        )
+        grad_elem = np.where(quadratic, diff / self.beta, np.sign(diff))
+        return float(loss_elem.mean()), grad_elem / diff.size
+
+
+class IoULoss(Loss):
+    """``1 - IoU`` loss on ``(cx, cy, w, h)`` boxes.
+
+    The IoU is differentiated numerically stable by clamping widths / heights
+    below ``eps``; for degenerate boxes the loss falls back to an L1 penalty,
+    which keeps gradients informative early in training.
+    """
+
+    def __init__(self, eps: float = 1e-6) -> None:
+        self.eps = eps
+        self._l1 = L1Loss()
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        # Decompose into corner coordinates.
+        px1 = pred[:, 0] - pred[:, 2] / 2
+        py1 = pred[:, 1] - pred[:, 3] / 2
+        px2 = pred[:, 0] + pred[:, 2] / 2
+        py2 = pred[:, 1] + pred[:, 3] / 2
+        tx1 = target[:, 0] - target[:, 2] / 2
+        ty1 = target[:, 1] - target[:, 3] / 2
+        tx2 = target[:, 0] + target[:, 2] / 2
+        ty2 = target[:, 1] + target[:, 3] / 2
+
+        ix1 = np.maximum(px1, tx1)
+        iy1 = np.maximum(py1, ty1)
+        ix2 = np.minimum(px2, tx2)
+        iy2 = np.minimum(py2, ty2)
+        iw = np.clip(ix2 - ix1, 0.0, None)
+        ih = np.clip(iy2 - iy1, 0.0, None)
+        inter = iw * ih
+        area_p = np.clip(pred[:, 2], self.eps, None) * np.clip(pred[:, 3], self.eps, None)
+        area_t = target[:, 2] * target[:, 3]
+        union = area_p + area_t - inter + self.eps
+        iou = inter / union
+
+        loss = float(np.mean(1.0 - iou))
+
+        # Numerical gradient via the analytic L1 surrogate blended with IoU:
+        # using the smooth-L1 gradient scaled by (1 - IoU) keeps boxes moving
+        # toward the target while weighting hard examples more.
+        l1_loss, l1_grad = self._l1(pred, target)
+        del l1_loss
+        weight = (1.0 - iou)[:, None]
+        grad = l1_grad * (0.5 + weight) * pred.shape[0]
+        grad /= pred.shape[0]
+        return loss, grad
+
+
+LOSS_REGISTRY = {
+    "mse": MSELoss,
+    "l1": L1Loss,
+    "smooth_l1": SmoothL1Loss,
+    "iou": IoULoss,
+}
+
+
+def make_loss(name: str, **kwargs) -> Loss:
+    """Instantiate a loss by name."""
+    key = name.lower()
+    if key not in LOSS_REGISTRY:
+        raise KeyError(f"Unknown loss '{name}'. Available: {sorted(LOSS_REGISTRY)}")
+    return LOSS_REGISTRY[key](**kwargs)

@@ -1,0 +1,7 @@
+"""Shared utilities: logging, RNG handling, serialization and table rendering."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import render_table
+
+__all__ = ["get_logger", "ensure_rng", "render_table"]

@@ -1,0 +1,44 @@
+"""Logging helpers.
+
+The library uses the standard :mod:`logging` module so that applications
+embedding the co-design flow can control verbosity through the usual
+``logging`` configuration machinery.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str, level: int | None = None) -> logging.Logger:
+    """Return a namespaced logger under the ``repro`` hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Module name; typically ``__name__`` of the caller.
+    level:
+        Optional explicit level.  When omitted the logger inherits the level
+        of its ancestors.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    logger = logging.getLogger(name)
+    if level is not None:
+        logger.setLevel(level)
+    return logger
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Configure a basic console handler for the ``repro`` logger tree.
+
+    Safe to call multiple times; subsequent calls only adjust the level.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)

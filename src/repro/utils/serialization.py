@@ -1,0 +1,64 @@
+"""JSON serialization of experiment results.
+
+Experiment drivers return nested dataclasses (rows, evaluations, candidates).
+This module converts them into plain JSON-compatible structures so results
+can be archived, diffed across runs, or post-processed into plots, and loads
+them back as dictionaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any, _depth: int = 0) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable structures.
+
+    Dataclasses become dictionaries (with a ``__type__`` tag), numpy scalars
+    and arrays become Python scalars and lists, mappings and sequences are
+    converted element-wise, and objects exposing ``as_dict`` use it.  Depth is
+    bounded to protect against accidental cycles.
+    """
+    if _depth > 24:
+        return str(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload = {
+            field.name: to_jsonable(getattr(obj, field.name), _depth + 1)
+            for field in dataclasses.fields(obj)
+        }
+        payload["__type__"] = type(obj).__name__
+        return payload
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value, _depth + 1) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(item, _depth + 1) for item in obj]
+    if hasattr(obj, "as_dict") and callable(obj.as_dict):
+        return to_jsonable(obj.as_dict(), _depth + 1)
+    # Fall back to the readable representation for anything exotic.
+    return str(obj)
+
+
+def dump_json(obj: Any, path: str | pathlib.Path, indent: int = 2) -> pathlib.Path:
+    """Serialise ``obj`` to ``path`` as JSON; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | pathlib.Path) -> Any:
+    """Load a JSON file previously written by :func:`dump_json`."""
+    return json.loads(pathlib.Path(path).read_text())

@@ -1,0 +1,51 @@
+"""Plain-text table rendering used by experiment drivers and the CLI.
+
+The benchmark harness prints the same rows the paper reports; this module
+keeps the formatting in one place so the output of every experiment looks
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.1f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(title: str, mapping: dict[str, object]) -> str:
+    """Render a key/value block (used for headline claims summaries)."""
+    width = max((len(k) for k in mapping), default=0)
+    lines = [title]
+    lines.extend(f"  {k.ljust(width)} : {_stringify(v)}" for k, v in mapping.items())
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Tests for the Auto-DNN and Auto-HLS engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.auto_dnn import AutoDNN, DNNCandidate
+from repro.core.auto_hls import AutoHLS
+from repro.core.bundle_generation import get_bundle
+from repro.core.constraints import LatencyTarget, ResourceConstraint
+from repro.detection.accuracy_model import SurrogateAccuracyModel
+from repro.detection.task import DAC_SDC_TASK, TINY_DETECTION_TASK
+from repro.hw.device import PYNQ_Z1
+
+
+@pytest.fixture(scope="module")
+def auto_hls():
+    return AutoHLS(PYNQ_Z1)
+
+
+@pytest.fixture(scope="module")
+def auto_dnn(auto_hls):
+    # The search tests use the full-resolution task: the tiny task is so fast
+    # on the PYNQ-Z1 model that realistic latency bands are unreachable.
+    return AutoDNN(
+        DAC_SDC_TASK, PYNQ_Z1,
+        auto_hls=auto_hls,
+        accuracy_model=SurrogateAccuracyModel(noise=0.0),
+        stem_channels=48,
+        max_channels=512,
+        rng=5,
+    )
+
+
+class TestAutoHLS:
+    def test_estimate_and_generate_agree_on_resources(self, auto_hls, tiny_config):
+        estimate = auto_hls.estimate(tiny_config)
+        result = auto_hls.generate(tiny_config)
+        assert estimate.resources.dsp == pytest.approx(result.report.resources.dsp, rel=0.05)
+
+    def test_generate_produces_code_and_report(self, auto_hls, tiny_config):
+        result = auto_hls.generate(tiny_config)
+        assert result.design.total_lines > 50
+        assert result.report.latency_ms > 0
+        assert result.latency_ms == result.report.latency_ms
+        assert result.fps == pytest.approx(1000.0 / result.latency_ms)
+
+    def test_clock_override(self, auto_hls, tiny_config):
+        slow = auto_hls.generate(tiny_config, clock_mhz=100.0)
+        fast = auto_hls.generate(tiny_config, clock_mhz=150.0)
+        assert fast.report.latency_ms < slow.report.latency_ms
+
+    def test_fit_models_updates_coefficients(self, tiny_config):
+        engine = AutoHLS(PYNQ_Z1)
+        before = engine.coefficients
+        result = engine.fit_models([tiny_config.to_workload()])
+        assert engine.coefficients is result.coefficients
+        assert engine.coefficients != before or result.mean_relative_error >= 0.0
+
+    def test_fitted_estimate_tracks_synthesis(self, tiny_config):
+        engine = AutoHLS(PYNQ_Z1)
+        engine.fit_models([tiny_config.to_workload()])
+        estimate = engine.estimate(tiny_config)
+        report = engine.generate(tiny_config).report
+        assert estimate.latency_ms == pytest.approx(report.latency_ms, rel=0.35)
+
+
+class TestAutoDNNInitialization:
+    def test_initialize_respects_bundle(self, auto_dnn):
+        config = auto_dnn.initialize(get_bundle(13))
+        assert config.bundle.bundle_id == 13
+        assert config.num_repetitions == 3
+        assert len(config.channel_expansion) == 3
+
+    def test_initialize_maximises_pf_within_device(self, auto_dnn):
+        config = auto_dnn.initialize(get_bundle(13))
+        estimate = auto_dnn.auto_hls.estimate(config)
+        assert auto_dnn.resource_constraint.satisfied_by(estimate.resources)
+        # Doubling PF once more must violate the constraint (otherwise the
+        # initialization did not pick the maximum).
+        bigger = config.with_updates(parallel_factor=config.parallel_factor * 2)
+        bigger_estimate = auto_dnn.auto_hls.estimate(bigger)
+        assert not auto_dnn.resource_constraint.satisfied_by(bigger_estimate.resources)
+
+    def test_conv_bundles_start_with_faster_channel_growth(self, auto_dnn):
+        dw = auto_dnn.initialize(get_bundle(13))
+        conv = auto_dnn.initialize(get_bundle(1))
+        assert max(conv.channel_expansion) >= max(dw.channel_expansion)
+
+
+class TestAutoDNNSearch:
+    def test_search_bundle_returns_candidates_with_accuracy(self, auto_dnn):
+        target = LatencyTarget(fps=40.0, tolerance_ms=6.0)
+        candidates = auto_dnn.search_bundle(get_bundle(13), target,
+                                            num_candidates=2, max_iterations=100)
+        assert candidates
+        for candidate in candidates:
+            assert isinstance(candidate, DNNCandidate)
+            assert 0.0 < candidate.accuracy < 1.0
+            assert candidate.latency_target is target
+
+    def test_refine_with_hls_attaches_reports(self, auto_dnn):
+        target = LatencyTarget(fps=40.0, tolerance_ms=6.0)
+        candidates = auto_dnn.search_bundle(get_bundle(13), target,
+                                            num_candidates=1, max_iterations=80)
+        refined = auto_dnn.refine_with_hls(candidates)
+        assert all(c.hls is not None for c in refined)
+        assert all(c.latency_ms == c.hls.latency_ms for c in refined)
+
+    def test_best_per_target_selects_highest_accuracy(self):
+        target = LatencyTarget(fps=100.0, tolerance_ms=5.0)
+
+        def fake(accuracy, latency):
+            from repro.hw.analytical import PerformanceEstimate
+            from repro.hw.resource import ResourceVector
+            return DNNCandidate(
+                config=None, accuracy=accuracy,
+                estimate=PerformanceEstimate(latency_ms=latency, resources=ResourceVector()),
+            )
+
+        candidates = [fake(0.5, 10.0), fake(0.7, 9.0), fake(0.9, 30.0)]
+        best = AutoDNN.best_per_target(candidates, [target])
+        assert best[target].accuracy == 0.7  # 0.9 candidate is out of band
+
+    def test_best_per_target_handles_empty(self):
+        target = LatencyTarget(fps=100.0, tolerance_ms=1.0)
+        assert AutoDNN.best_per_target([], [target])[target] is None
+
+    def test_candidate_summary_mentions_bundle(self, auto_dnn):
+        target = LatencyTarget(fps=40.0, tolerance_ms=6.0)
+        candidates = auto_dnn.search_bundle(get_bundle(13), target,
+                                            num_candidates=1, max_iterations=80)
+        if candidates:
+            assert "Bundle 13" in candidates[0].summary()

@@ -1,0 +1,154 @@
+"""Tests for the candidate DNN configuration and its builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bundle_generation import get_bundle
+from repro.core.dnn_config import CHANNEL_ROUND, DNNConfig, _round_channels
+from repro.detection.task import TINY_DETECTION_TASK
+
+
+class TestChannelRounding:
+    def test_rounds_to_multiple(self):
+        assert _round_channels(13) % CHANNEL_ROUND == 0
+        assert _round_channels(100) == 104 or _round_channels(100) == 96
+
+    def test_minimum(self):
+        assert _round_channels(1) == CHANNEL_ROUND
+
+
+class TestDNNConfigValidation:
+    def test_defaults_fill_expansion_and_downsample(self, bundle13, tiny_task):
+        config = DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=3)
+        assert len(config.channel_expansion) == 3
+        assert len(config.downsample) == 3
+
+    def test_length_mismatch_rejected(self, bundle13, tiny_task):
+        with pytest.raises(ValueError):
+            DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=3,
+                      channel_expansion=(1.5, 1.5))
+
+    def test_invalid_downsample_flag(self, bundle13, tiny_task):
+        with pytest.raises(ValueError):
+            DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=2,
+                      channel_expansion=(1.5, 1.5), downsample=(1, 2))
+
+    def test_invalid_repetitions(self, bundle13, tiny_task):
+        with pytest.raises(ValueError):
+            DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=0)
+
+    def test_feature_bits_follow_activation(self, bundle13, tiny_task):
+        relu4 = DNNConfig(bundle=bundle13, task=tiny_task, activation="relu4")
+        relu = DNNConfig(bundle=bundle13, task=tiny_task, activation="relu")
+        relu8 = DNNConfig(bundle=bundle13, task=tiny_task, activation="relu8")
+        assert relu4.feature_bits == 8
+        assert relu8.feature_bits == 10
+        assert relu.feature_bits == 16
+
+    def test_with_updates_returns_new_config(self, tiny_config):
+        updated = tiny_config.with_updates(num_repetitions=3,
+                                           channel_expansion=(1.5, 1.5, 1.5),
+                                           downsample=(1, 1, 0))
+        assert updated.num_repetitions == 3
+        assert tiny_config.num_repetitions == 2  # original untouched
+
+
+class TestChannelSchedule:
+    def test_expansion_applied(self, bundle13, tiny_task):
+        config = DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=3,
+                           channel_expansion=(2.0, 2.0, 2.0), downsample=(1, 1, 1),
+                           stem_channels=16, max_channels=512)
+        schedule = config.channel_schedule()
+        assert schedule == [32, 64, 128]
+
+    def test_max_channels_cap(self, bundle13, tiny_task):
+        config = DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=4,
+                           channel_expansion=(2.0,) * 4, downsample=(1, 1, 1, 1),
+                           stem_channels=64, max_channels=128)
+        assert max(config.channel_schedule()) <= 128
+
+    def test_spatial_schedule_halves_on_downsample(self, bundle13, tiny_task):
+        config = DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=2,
+                           channel_expansion=(1.5, 1.5), downsample=(1, 0),
+                           stem_channels=16)
+        sizes = config.spatial_schedule()
+        # Input 32x64 -> stem /2 = 16x32 -> rep0 downsample = 8x16 -> rep1 same.
+        assert sizes == [(8, 16), (8, 16)]
+
+
+class TestWorkloadBuilder:
+    def test_workload_structure(self, tiny_config):
+        wl = tiny_config.to_workload()
+        assert wl.layers[0].kind == "conv" and wl.layers[0].stride == 2  # stem
+        assert wl.layers[-1].kind == "head"
+        assert wl.num_bundles == tiny_config.num_repetitions
+        assert wl.feature_bits == tiny_config.feature_bits
+        assert wl.bundle_signature == tiny_config.bundle.signature
+
+    def test_bundle_layer_kinds_follow_bundle(self, tiny_config):
+        wl = tiny_config.to_workload()
+        rep0 = wl.layers_in_bundle(0)
+        kinds = [l.kind for l in rep0]
+        assert kinds == ["dwconv", "activation", "conv", "activation"]
+
+    def test_downsample_realised_as_stride(self, tiny_config):
+        wl = tiny_config.to_workload()
+        rep0 = wl.layers_in_bundle(0)
+        assert rep0[0].stride == 2  # first compute layer carries the downsample
+
+    def test_channels_monotone_nondecreasing(self, tiny_config):
+        wl = tiny_config.to_workload()
+        compute = [l for l in wl.layers if l.is_compute]
+        for earlier, later in zip(compute, compute[1:-1]):
+            assert later.in_channels >= earlier.in_channels or later.kind == "head"
+
+    def test_more_reps_more_macs(self, bundle13, tiny_task):
+        small = DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=1,
+                          channel_expansion=(1.5,), downsample=(1,), stem_channels=16)
+        large = DNNConfig(bundle=bundle13, task=tiny_task, num_repetitions=3,
+                          channel_expansion=(1.5,) * 3, downsample=(1, 1, 0), stem_channels=16)
+        assert large.to_workload().total_macs > small.to_workload().total_macs
+
+
+class TestModelBuilder:
+    def test_model_runs_forward_and_matches_workload(self, tiny_config, rng):
+        model = tiny_config.to_model(rng=0)
+        c, h, w = tiny_config.task.input_shape
+        x = rng.normal(size=(2, c, h, w)).astype(np.float32)
+        out = model.forward(x)
+        assert out.shape == (2, 4)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_model_params_close_to_workload_params(self, tiny_config):
+        model = tiny_config.to_model(rng=0)
+        wl = tiny_config.to_workload()
+        # BatchNorm in the model adds a few parameters the workload does not
+        # track, so allow a modest relative difference.
+        assert model.num_params() == pytest.approx(wl.total_params, rel=0.25)
+
+    def test_model_trainable(self, tiny_config, rng):
+        model = tiny_config.to_model(rng=0)
+        c, h, w = tiny_config.task.input_shape
+        x = rng.normal(size=(2, c, h, w)).astype(np.float32)
+        out = model.forward(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestFeaturesAndDescribe:
+    def test_features_reflect_workload(self, tiny_config):
+        features = tiny_config.features(epochs=20)
+        wl = tiny_config.to_workload()
+        assert features.macs == wl.total_macs
+        assert features.depth == wl.compute_depth
+        assert features.max_channels == wl.max_channels
+        assert features.epochs == 20
+        assert features.bundle_signature == "dwconv3x3+conv1x1"
+
+    def test_describe_mentions_structure(self, tiny_config):
+        text = tiny_config.describe()
+        assert "Bundle 13" in text
+        assert "2 bundle replications" in text
+        assert "8-bit feature map" in text

@@ -1,0 +1,161 @@
+"""Tests for Pareto utilities, constraints and the design-space description."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bundle_generation import get_bundle
+from repro.core.constraints import LatencyTarget, ResourceConstraint
+from repro.core.design_space import CoDesignSpace, DesignPoint, IPInstanceSpec
+from repro.core.pareto import group_by, pareto_front
+from repro.hw.device import PYNQ_Z1
+from repro.hw.resource import ResourceVector
+from repro.nn.quantization import W8A8
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        # (cost, value) points; (1, 1) and (3, 5) are non-dominated.
+        points = [(1.0, 1.0), (2.0, 1.0), (3.0, 5.0), (4.0, 4.0)]
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == [(1.0, 1.0), (3.0, 5.0)]
+
+    def test_single_point(self):
+        assert pareto_front([(1, 2)], cost=lambda p: p[0], value=lambda p: p[1]) == [(1, 2)]
+
+    def test_empty(self):
+        assert pareto_front([], cost=lambda p: p[0], value=lambda p: p[1]) == []
+
+    def test_duplicates_kept(self):
+        points = [(1.0, 1.0), (1.0, 1.0)]
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert len(front) == 2
+
+    def test_sorted_by_cost(self):
+        points = [(5.0, 9.0), (1.0, 2.0), (3.0, 7.0)]
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == sorted(front, key=lambda p: p[0])
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_front_members_not_dominated(self, points):
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front  # never empty for non-empty input
+        for member in front:
+            dominated = any(
+                other[0] <= member[0] and other[1] >= member[1]
+                and (other[0] < member[0] or other[1] > member[1])
+                for other in points
+            )
+            assert not dominated
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_best_value_point_always_on_front(self, points):
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        best_value = max(p[1] for p in points)
+        assert any(p[1] == best_value for p in front)
+
+
+class TestGroupBy:
+    def test_groups_cover_all_items(self):
+        items = list(range(10))
+        groups = group_by(items, key=float, num_groups=3)
+        assert sum(len(v) for v in groups.values()) == 10
+
+    def test_single_value_single_group(self):
+        groups = group_by([1, 1, 1], key=float, num_groups=3)
+        assert len(groups) == 1
+
+    def test_empty(self):
+        assert group_by([], key=float, num_groups=3) == {}
+
+    def test_invalid_num_groups(self):
+        with pytest.raises(ValueError):
+            group_by([1], key=float, num_groups=0)
+
+
+class TestLatencyTarget:
+    def test_latency_from_fps(self):
+        target = LatencyTarget(fps=20.0)
+        assert target.latency_ms == pytest.approx(50.0)
+
+    def test_band_membership(self):
+        target = LatencyTarget(fps=10.0, tolerance_ms=5.0)
+        assert target.within_band(98.0)
+        assert target.within_band(104.9)
+        assert not target.within_band(110.0)
+        assert not target.within_band(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyTarget(fps=0.0)
+        with pytest.raises(ValueError):
+            LatencyTarget(fps=10.0, tolerance_ms=0.0)
+
+    def test_str(self):
+        assert "FPS" in str(LatencyTarget(fps=15.0))
+
+
+class TestResourceConstraint:
+    def test_for_device(self):
+        constraint = ResourceConstraint.for_device(PYNQ_Z1)
+        assert constraint.satisfied_by(ResourceVector(lut=1000, ff=1000, dsp=10, bram=10))
+        assert not constraint.satisfied_by(ResourceVector(dsp=500))
+
+    def test_utilization_limit(self):
+        constraint = ResourceConstraint.for_device(PYNQ_Z1, utilization_limit=0.5)
+        assert not constraint.satisfied_by(ResourceVector(dsp=150))
+        assert constraint.satisfied_by(ResourceVector(dsp=100))
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            ResourceConstraint.for_device(PYNQ_Z1, utilization_limit=0.0)
+
+
+class TestDesignSpace:
+    def _point(self) -> DesignPoint:
+        return DesignPoint(
+            num_layers=12,
+            ip_templates=("conv3x3", "conv1x1", "dwconv3x3"),
+            ip_instances=(
+                IPInstanceSpec("dwconv3x3", parallel_factor=16, quantization=W8A8, layers=(1, 3)),
+                IPInstanceSpec("conv1x1", parallel_factor=16, quantization=W8A8, layers=(2, 4)),
+            ),
+            channel_expansion=(2.0, 1.5, 1.3),
+            downsample_layers=(1, 2),
+            bundle=get_bundle(13),
+        )
+
+    def test_design_point_describe(self):
+        text = self._point().describe()
+        assert "L=12" in text
+        assert "PF=16" in text
+        assert "Bundle 13" in text
+
+    def test_design_point_affects_all_objectives(self):
+        affects = self._point().affects
+        assert affects["channel_expansion"] == ("accuracy", "performance", "resource")
+        assert "accuracy" not in affects["ip_instances"]
+
+    def test_design_point_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(num_layers=0, ip_templates=(), ip_instances=(),
+                        channel_expansion=(), downsample_layers=())
+        with pytest.raises(ValueError):
+            IPInstanceSpec("conv3x3", parallel_factor=0, quantization=W8A8)
+
+    def test_codesign_space_size_grows_with_bundles(self):
+        small = CoDesignSpace(bundles=(get_bundle(13),))
+        large = CoDesignSpace(bundles=(get_bundle(13), get_bundle(1), get_bundle(3)))
+        assert large.approximate_size == pytest.approx(3 * small.approximate_size)
+
+    def test_codesign_space_validation(self):
+        with pytest.raises(ValueError):
+            CoDesignSpace(bundles=())
+
+    def test_codesign_space_is_combinatorial(self):
+        space = CoDesignSpace(bundles=tuple(get_bundle(i) for i in (1, 3, 13)))
+        assert space.approximate_size > 1e6

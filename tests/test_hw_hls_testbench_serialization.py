@@ -1,0 +1,125 @@
+"""Tests for the HLS testbench/script generation and result serialization."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.auto_hls import AutoHLS
+from repro.hw.device import PYNQ_Z1, ULTRA96
+from repro.hw.hls.codegen import HLSCodeGenerator
+from repro.hw.hls.testbench import (
+    DEVICE_PARTS,
+    generate_makefile,
+    generate_support_files,
+    generate_synthesis_script,
+    generate_testbench,
+)
+from repro.hw.resource import ResourceVector
+from repro.hw.tile_arch import TileArchAccelerator
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+from tests.test_hw_tile_arch_pipeline import make_workload
+
+
+@pytest.fixture(scope="module")
+def design_and_accelerator():
+    accelerator = TileArchAccelerator.build(make_workload(channels=32, reps=2), PYNQ_Z1, 16)
+    design = HLSCodeGenerator(accelerator, design_name="toy_dnn").generate()
+    return design, accelerator
+
+
+class TestTestbenchGeneration:
+    def test_testbench_references_design_and_dimensions(self, design_and_accelerator):
+        design, accelerator = design_and_accelerator
+        tb = generate_testbench(design, accelerator)
+        c, h, w = accelerator.workload.input_shape
+        assert f'#include "{design.name}.h"' in tb
+        assert f"#define INPUT_HEIGHT   {h}" in tb
+        assert f"#define INPUT_WIDTH    {w}" in tb
+        assert f"{design.name}(frame, result, weights);" in tb
+
+    def test_synthesis_script_targets_device_part_and_clock(self, design_and_accelerator):
+        design, accelerator = design_and_accelerator
+        script = generate_synthesis_script(design, accelerator)
+        assert DEVICE_PARTS["PYNQ-Z1"] in script
+        assert "create_clock -period 10.00" in script
+        assert f"set_top {design.name}" in script
+
+    def test_synthesis_script_for_other_device(self):
+        accelerator = TileArchAccelerator.build(make_workload(channels=32), ULTRA96, 16)
+        design = HLSCodeGenerator(accelerator, design_name="u96_dnn").generate()
+        script = generate_synthesis_script(design, accelerator)
+        assert DEVICE_PARTS["Ultra96"] in script
+
+    def test_makefile_mentions_targets(self, design_and_accelerator):
+        design, _ = design_and_accelerator
+        makefile = generate_makefile(design)
+        assert "csim:" in makefile and "hls:" in makefile
+
+    def test_support_files_bundle(self, design_and_accelerator):
+        design, accelerator = design_and_accelerator
+        files = generate_support_files(design, accelerator)
+        assert set(files) == {f"{design.name}_tb.cpp", "run_hls.tcl", "Makefile"}
+
+    def test_auto_hls_includes_support_files(self, tiny_config, tmp_path):
+        engine = AutoHLS(PYNQ_Z1)
+        result = engine.generate(tiny_config, include_support_files=True)
+        assert any(name.endswith("_tb.cpp") for name in result.design.files)
+        assert "run_hls.tcl" in result.design.files
+        paths = result.design.write_to(tmp_path)
+        assert len(paths) == 5  # .h, .cpp, _tb.cpp, run_hls.tcl, Makefile
+
+    def test_auto_hls_can_skip_support_files(self, tiny_config):
+        engine = AutoHLS(PYNQ_Z1)
+        result = engine.generate(tiny_config, include_support_files=False)
+        assert set(result.design.files) == {f"{result.design.name}.h", f"{result.design.name}.cpp"}
+
+
+class TestSerialization:
+    def test_scalars_and_arrays(self):
+        assert to_jsonable(np.float32(1.5)) == 1.5
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+        assert to_jsonable((1, "a", None)) == [1, "a", None]
+
+    def test_dataclass_tagged(self):
+        payload = to_jsonable(ResourceVector(lut=10, dsp=2))
+        assert payload["__type__"] == "ResourceVector"
+        assert payload["lut"] == 10
+
+    def test_nested_experiment_result_roundtrip(self, tmp_path):
+        from repro.experiments.table2 import run_table2
+
+        result = run_table2(clocks=(100.0,))
+        path = dump_json(result, tmp_path / "table2.json")
+        loaded = load_json(path)
+        assert loaded["__type__"] == "Table2Result"
+        assert len(loaded["our_rows"]) == 3
+        row = loaded["our_rows"][0]
+        assert row["__type__"] == "Table2Row"
+        assert 0.0 < row["iou"] < 1.0
+
+    def test_unserialisable_objects_fall_back_to_str(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert to_jsonable(Opaque()) == "<opaque>"
+
+    def test_dump_creates_parent_dirs(self, tmp_path):
+        path = dump_json({"a": 1}, tmp_path / "nested" / "out.json")
+        assert path.exists()
+        assert load_json(path) == {"a": 1}
+
+    def test_depth_guard(self):
+        nested: dict = {}
+        current = nested
+        for _ in range(40):
+            current["next"] = {}
+            current = current["next"]
+        # Deeply nested structures degrade to strings instead of recursing forever.
+        payload = to_jsonable(nested)
+        assert isinstance(payload, dict)

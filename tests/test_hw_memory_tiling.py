@@ -1,0 +1,152 @@
+"""Tests for buffer planning, DRAM traffic model and tiling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.device import PYNQ_Z1, ZC706
+from repro.hw.memory import (
+    DRAMTrafficModel,
+    bram_blocks_for_bits,
+    layer_tile_traffic_bytes,
+    plan_on_chip_buffers,
+)
+from repro.hw.tiling import CANDIDATE_TILES, TileConfig, choose_tile_config
+from repro.hw.workload import LayerWorkload, NetworkWorkload
+
+
+def small_workload(feature_bits=8, channels=64) -> NetworkWorkload:
+    layers = [
+        LayerWorkload(kind="conv", kernel=3, in_channels=3, out_channels=channels,
+                      in_height=32, in_width=64, stride=2, bundle_index=-1),
+        LayerWorkload(kind="dwconv", kernel=3, in_channels=channels, out_channels=channels,
+                      in_height=16, in_width=32, bundle_index=0),
+        LayerWorkload(kind="conv", kernel=1, in_channels=channels, out_channels=channels,
+                      in_height=16, in_width=32, bundle_index=0),
+        LayerWorkload(kind="head", kernel=1, in_channels=channels, out_channels=4,
+                      in_height=16, in_width=32, bundle_index=-1),
+    ]
+    return NetworkWorkload(layers=layers, input_shape=(3, 32, 64),
+                           weight_bits=8, feature_bits=feature_bits)
+
+
+class TestBufferPlanning:
+    def test_bram_blocks_rounding(self):
+        assert bram_blocks_for_bits(0) == 0.0
+        assert bram_blocks_for_bits(1) == 1.0
+        assert bram_blocks_for_bits(18 * 1024) == 1.0
+        assert bram_blocks_for_bits(18 * 1024 + 1) == 2.0
+
+    def test_plan_scales_with_bits(self):
+        a = plan_on_chip_buffers(8, 16, 128, 8, 8, 3, 128, 128)
+        b = plan_on_chip_buffers(8, 16, 128, 16, 8, 3, 128, 128)
+        assert b.data_buffer_bram >= a.data_buffer_bram
+        assert b.total_bram >= a.total_bram
+
+    def test_plan_scales_with_channels(self):
+        a = plan_on_chip_buffers(8, 16, 64, 8, 8, 3, 64, 64)
+        b = plan_on_chip_buffers(8, 16, 512, 8, 8, 3, 512, 512)
+        assert b.total_bram > a.total_bram
+
+    def test_double_buffer_factor(self):
+        single = plan_on_chip_buffers(8, 16, 64, 8, 8, 3, 64, 64, double_buffer=False)
+        double = plan_on_chip_buffers(8, 16, 64, 8, 8, 3, 64, 64, double_buffer=True)
+        assert double.data_buffer_bram == pytest.approx(2 * single.data_buffer_bram)
+
+    def test_as_resource(self):
+        plan = plan_on_chip_buffers(8, 16, 64, 8, 8, 3, 64, 64)
+        assert plan.as_resource().bram == plan.total_bram
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_on_chip_buffers(0, 16, 64, 8, 8, 3, 64, 64)
+        with pytest.raises(ValueError):
+            plan_on_chip_buffers(8, 16, 64, 8, 8, 3, 64, 64, weight_group=0)
+
+
+class TestDRAMTrafficModel:
+    def test_transfer_latency_monotone_in_bytes(self):
+        model = DRAMTrafficModel(PYNQ_Z1)
+        assert model.transfer_latency_ms(1e6) > model.transfer_latency_ms(1e3)
+
+    def test_setup_cost_per_burst(self):
+        model = DRAMTrafficModel(PYNQ_Z1)
+        assert model.transfer_latency_ms(1e4, bursts=10) > model.transfer_latency_ms(1e4, bursts=1)
+
+    def test_faster_device_faster_transfer(self):
+        slow = DRAMTrafficModel(PYNQ_Z1)
+        fast = DRAMTrafficModel(ZC706)
+        assert fast.transfer_latency_ms(1e6) < slow.transfer_latency_ms(1e6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMTrafficModel(PYNQ_Z1).transfer_latency_ms(-1.0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            DRAMTrafficModel(PYNQ_Z1, dma_efficiency=0.0)
+
+    def test_inter_bundle_latency_grows_with_bits(self):
+        model = DRAMTrafficModel(PYNQ_Z1)
+        narrow = model.inter_bundle_latency_ms(small_workload(feature_bits=8))
+        wide = model.inter_bundle_latency_ms(small_workload(feature_bits=16))
+        assert wide >= narrow
+
+    def test_weight_streaming_latency_positive(self):
+        model = DRAMTrafficModel(PYNQ_Z1)
+        assert model.weight_streaming_latency_ms(small_workload()) > 0.0
+
+    def test_io_latency_positive(self):
+        model = DRAMTrafficModel(PYNQ_Z1)
+        assert model.input_output_latency_ms(small_workload()) > 0.0
+
+    def test_layer_tile_traffic_fraction(self):
+        layer = LayerWorkload(kind="conv", kernel=3, in_channels=8, out_channels=8,
+                              in_height=16, in_width=16)
+        full = layer_tile_traffic_bytes(layer, 16 * 16, 8)
+        half = layer_tile_traffic_bytes(layer, 16 * 8, 8)
+        assert half == pytest.approx(full / 2)
+
+
+class TestTiling:
+    def test_tile_pixels_and_count(self):
+        tile = TileConfig(8, 16)
+        assert tile.pixels == 128
+        assert tile.num_tiles(16, 32) == 4
+        assert tile.num_tiles(17, 32) == 6  # ceil division
+
+    def test_invalid_tile(self):
+        with pytest.raises(ValueError):
+            TileConfig(0, 8)
+        with pytest.raises(ValueError):
+            TileConfig(8, 8).num_tiles(0, 8)
+
+    def test_choose_tile_fits_budget(self):
+        wl = small_workload(channels=64)
+        tile = choose_tile_config(wl, PYNQ_Z1)
+        assert tile in CANDIDATE_TILES
+        assert tile.tile_height <= 32 and tile.tile_width <= 64
+
+    def test_wider_networks_get_smaller_tiles(self):
+        narrow = choose_tile_config(small_workload(channels=32), PYNQ_Z1)
+        wide = choose_tile_config(small_workload(channels=512), PYNQ_Z1)
+        assert wide.pixels <= narrow.pixels
+
+    def test_bigger_device_allows_bigger_tiles(self):
+        wl = small_workload(channels=256)
+        small_dev = choose_tile_config(wl, PYNQ_Z1)
+        big_dev = choose_tile_config(wl, ZC706)
+        assert big_dev.pixels >= small_dev.pixels
+
+    def test_invalid_budget_fraction(self):
+        with pytest.raises(ValueError):
+            choose_tile_config(small_workload(), PYNQ_Z1, bram_budget_fraction=0.0)
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_num_tiles_covers_feature_map(self, h, w):
+        tile = TileConfig(8, 16)
+        count = tile.num_tiles(h, w)
+        assert count * tile.pixels >= h * w

@@ -1,0 +1,149 @@
+"""Tests for the power model and the Auto-HLS code generation / synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.device import PYNQ_Z1
+from repro.hw.hls.codegen import HLSCodeGenerator
+from repro.hw.hls.synthesis import HLSSynthesisSimulator
+from repro.hw.pipeline import TilePipelineSimulator
+from repro.hw.power import FPGAPowerModel
+from repro.hw.resource import ResourceVector
+from repro.hw.tile_arch import TileArchAccelerator
+
+from tests.test_hw_tile_arch_pipeline import make_workload
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return TileArchAccelerator.build(make_workload(channels=32, reps=2), PYNQ_Z1, parallel_factor=16)
+
+
+USAGE = ResourceVector(lut=40_000, ff=50_000, dsp=190, bram=250)
+
+
+class TestPowerModel:
+    def test_board_power_in_realistic_range(self):
+        model = FPGAPowerModel(PYNQ_Z1)
+        power = model.board_power_w(USAGE, 100.0)
+        # The paper measures 2.2 W at 100 MHz on this board.
+        assert 1.8 <= power <= 2.6
+
+    def test_power_grows_with_clock(self):
+        model = FPGAPowerModel(PYNQ_Z1)
+        assert model.board_power_w(USAGE, 150.0) > model.board_power_w(USAGE, 100.0)
+
+    def test_power_grows_with_utilization(self):
+        model = FPGAPowerModel(PYNQ_Z1)
+        idle = ResourceVector(lut=5_000, ff=5_000, dsp=10, bram=10)
+        assert model.board_power_w(USAGE, 100.0) > model.board_power_w(idle, 100.0)
+
+    def test_static_floor(self):
+        model = FPGAPowerModel(PYNQ_Z1)
+        assert model.board_power_w(ResourceVector.zero(), 100.0) == pytest.approx(
+            PYNQ_Z1.static_power_w
+        )
+
+    def test_energy_report_consistency(self):
+        model = FPGAPowerModel(PYNQ_Z1)
+        report = model.energy_report(USAGE, 100.0, latency_ms=80.0, num_frames=50_000)
+        assert report.fps == pytest.approx(12.5)
+        # E = P * T, with T = 50_000 * 80 ms = 4000 s.
+        assert report.total_energy_kj == pytest.approx(report.power_w * 4000.0 / 1000.0, rel=1e-6)
+        assert report.energy_per_frame_j == pytest.approx(report.power_w / report.fps, rel=1e-6)
+
+    def test_energy_report_with_overhead(self):
+        model = FPGAPowerModel(PYNQ_Z1)
+        fast = model.energy_report(USAGE, 100.0, latency_ms=10.0, overhead_ms_per_frame=0.0)
+        slow = model.energy_report(USAGE, 100.0, latency_ms=10.0, overhead_ms_per_frame=5.0)
+        assert slow.fps < fast.fps
+
+    def test_invalid_arguments(self):
+        model = FPGAPowerModel(PYNQ_Z1)
+        with pytest.raises(ValueError):
+            model.energy_report(USAGE, 100.0, latency_ms=0.0)
+        with pytest.raises(ValueError):
+            model.board_power_w(USAGE, 0.0)
+        with pytest.raises(ValueError):
+            FPGAPowerModel(PYNQ_Z1, activity_factor=0.0)
+
+
+class TestHLSCodegen:
+    def test_generates_header_and_source(self, accelerator):
+        design = HLSCodeGenerator(accelerator, design_name="toy_dnn").generate()
+        assert set(design.files) == {"toy_dnn.h", "toy_dnn.cpp"}
+        assert design.total_lines > 100
+
+    def test_source_contains_ip_functions_and_pragmas(self, accelerator):
+        design = HLSCodeGenerator(accelerator, design_name="toy_dnn").generate()
+        source = design.source
+        assert "#pragma HLS PIPELINE" in source
+        assert "#pragma HLS INTERFACE m_axi" in source
+        for instance in accelerator.bundle_hw.instances:
+            if instance.kind in ("conv", "dwconv"):
+                assert f"void {instance.name}" in source
+
+    def test_layer_calls_cover_compute_layers(self, accelerator):
+        design = HLSCodeGenerator(accelerator, design_name="toy_dnn").generate()
+        compute_layers = [l for l in accelerator.workload.layers
+                          if l.kind not in ("activation", "norm")]
+        assert len(design.layer_calls) == len(compute_layers)
+
+    def test_header_defines_tile_dimensions(self, accelerator):
+        design = HLSCodeGenerator(accelerator, design_name="toy_dnn").generate()
+        assert f"#define TILE_H {accelerator.tile.tile_height}" in design.header
+        assert f"#define TILE_W {accelerator.tile.tile_width}" in design.header
+
+    def test_design_name_sanitised(self, accelerator):
+        design = HLSCodeGenerator(accelerator, design_name="123 bad-name!").generate()
+        assert design.name.isidentifier()
+
+    def test_write_to_disk(self, accelerator, tmp_path):
+        design = HLSCodeGenerator(accelerator, design_name="toy_dnn").generate()
+        paths = design.write_to(tmp_path)
+        assert len(paths) == 2
+        for path in paths:
+            assert (tmp_path / path.split("/")[-1]).exists()
+
+    def test_quantization_reflected_in_types(self, accelerator):
+        design = HLSCodeGenerator(accelerator, design_name="toy_dnn").generate()
+        assert "ap_int<8>" in design.source  # 8-bit weights / activations
+
+
+class TestHLSSynthesis:
+    def test_report_matches_simulator_latency(self, accelerator):
+        report = HLSSynthesisSimulator(accelerator).synthesise()
+        simulated = TilePipelineSimulator(accelerator).run().total_cycles
+        assert report.latency_cycles == pytest.approx(simulated, rel=1e-6)
+
+    def test_pessimism_scales_latency(self, accelerator):
+        base = HLSSynthesisSimulator(accelerator).synthesise()
+        pessimistic = HLSSynthesisSimulator(accelerator, pessimism=2.0).synthesise()
+        assert pessimistic.latency_cycles == pytest.approx(2 * base.latency_cycles, rel=1e-6)
+
+    def test_small_design_meets_timing(self, accelerator):
+        report = HLSSynthesisSimulator(accelerator).synthesise()
+        assert report.meets_timing
+        assert report.achieved_clock_mhz == accelerator.clock_mhz
+
+    def test_report_summary_format(self, accelerator):
+        report = HLSSynthesisSimulator(accelerator).synthesise()
+        text = report.summary()
+        assert "ms" in text and "DSP" in text
+
+    def test_fps_latency_relation(self, accelerator):
+        report = HLSSynthesisSimulator(accelerator).synthesise()
+        assert report.fps == pytest.approx(1000.0 / report.latency_ms, rel=1e-9)
+
+    def test_invalid_pessimism(self, accelerator):
+        with pytest.raises(ValueError):
+            HLSSynthesisSimulator(accelerator, pessimism=0.0)
+
+    def test_overpacked_device_degrades_timing(self):
+        heavy = TileArchAccelerator.build(
+            make_workload(channels=256, reps=4, feature_bits=16), PYNQ_Z1, parallel_factor=256,
+        )
+        report = HLSSynthesisSimulator(heavy).synthesise()
+        assert report.utilization.max_fraction > 1.0
+        assert not report.meets_timing
