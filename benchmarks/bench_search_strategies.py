@@ -1,0 +1,107 @@
+"""Search-engine benchmarks: strategy throughput and cache speedup.
+
+Measures (1) candidates-found-per-second for each registered exploration
+strategy on the same tiny search problem and seed, and (2) the speedup the
+memoized :class:`~repro.search.cache.EvaluationCache` buys the SCD unit on a
+same-seed run — both in wall time and in avoided estimator invocations (the
+deterministic, machine-independent measure).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.auto_hls import AutoHLS
+from repro.core.bundle_generation import get_bundle
+from repro.core.constraints import LatencyTarget, ResourceConstraint
+from repro.core.dnn_config import DNNConfig
+from repro.core.scd import SCDUnit
+from repro.detection.task import TINY_DETECTION_TASK
+from repro.hw.device import PYNQ_Z1
+from repro.search import available_strategies, create_explorer
+
+SEED = 3
+NUM_CANDIDATES = 3
+MAX_ITERATIONS = 150
+
+
+def _problem():
+    engine = AutoHLS(PYNQ_Z1)
+    constraint = ResourceConstraint.for_device(PYNQ_Z1)
+    target = LatencyTarget(fps=120.0, tolerance_ms=2.0)
+    initial = DNNConfig(bundle=get_bundle(13), task=TINY_DETECTION_TASK,
+                        num_repetitions=2, channel_expansion=(1.5, 1.5),
+                        downsample=(1, 1), stem_channels=16,
+                        parallel_factor=16, max_channels=128)
+    return engine, constraint, target, initial
+
+
+class _Counting:
+    def __init__(self, estimator):
+        self.estimator = estimator
+        self.calls = 0
+
+    def __call__(self, config):
+        self.calls += 1
+        return self.estimator(config)
+
+
+@pytest.mark.parametrize("strategy", sorted(available_strategies()))
+def test_strategy_candidates_per_second(benchmark, strategy):
+    """Throughput of each strategy on the same problem and seed."""
+    engine, constraint, target, initial = _problem()
+
+    def run():
+        explorer = create_explorer(
+            strategy, estimator=engine.estimate, latency_target=target,
+            resource_constraint=constraint, max_iterations=MAX_ITERATIONS,
+            rng=SEED,
+        )
+        return explorer.explore(initial, num_candidates=NUM_CANDIDATES)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    mean_s = benchmark.stats.stats.mean
+    rate = len(result.candidates) / mean_s if mean_s > 0 else float("inf")
+    print(f"\n[{strategy}] {len(result.candidates)} candidates, "
+          f"{result.evaluations} evaluations, {rate:.1f} candidates/s")
+    assert len(result.candidates) >= 1
+
+
+def test_cached_scd_speedup(benchmark):
+    """Cached vs uncached SCD on the same seed: identical results, fewer calls."""
+    engine, constraint, target, initial = _problem()
+
+    def run_scd(cache):
+        counter = _Counting(engine.estimate)
+        unit = SCDUnit(counter, target, constraint,
+                       max_iterations=MAX_ITERATIONS, rng=SEED, cache=cache)
+        start = time.perf_counter()
+        result = unit.search(initial, num_candidates=NUM_CANDIDATES)
+        elapsed = time.perf_counter() - start
+        return result, counter.calls, elapsed, unit
+
+    uncached_result, uncached_calls, uncached_time, _ = run_scd(cache=False)
+
+    def cached_run():
+        return run_scd(cache=None)
+
+    cached_result, cached_calls, cached_time, unit = benchmark.pedantic(
+        cached_run, rounds=3, iterations=1, warmup_rounds=1,
+    )
+
+    # Same seed => bit-identical search trajectory.
+    assert [c.describe() for c in cached_result.candidates] == \
+        [c.describe() for c in uncached_result.candidates]
+    assert cached_result.iterations == uncached_result.iterations
+
+    stats = unit.cache.stats()
+    call_speedup = uncached_calls / cached_calls
+    time_speedup = uncached_time / cached_time if cached_time > 0 else float("inf")
+    print(f"\n[scd cache] estimator calls {uncached_calls} -> {cached_calls} "
+          f"({call_speedup:.2f}x fewer), wall {uncached_time * 1e3:.1f} ms -> "
+          f"{cached_time * 1e3:.1f} ms ({time_speedup:.2f}x), {stats.summary()}")
+    # The measured speedup must be real: strictly fewer estimator calls.
+    assert cached_calls < uncached_calls
+    assert stats.hits > 0

@@ -6,6 +6,11 @@ Run the full co-design flow on PYNQ-Z1::
 
     repro-codesign codesign --device pynq-z1 --fps 10 15 20
 
+Run the DNN search step with a pluggable exploration strategy, parallel
+evaluation workers and an archivable journal::
+
+    repro-codesign search --strategy evolutionary --workers 4 --journal out.json
+
 Regenerate a specific paper artefact::
 
     repro-codesign experiment table2
@@ -25,6 +30,7 @@ from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
 from repro.core.auto_hls import AutoHLS
 from repro.detection.task import DAC_SDC_TASK
 from repro.hw.device import get_device, list_devices
+from repro.search import SearchSession, available_strategies
 from repro.utils.logging import configure_logging
 
 
@@ -46,6 +52,22 @@ def _build_parser() -> argparse.ArgumentParser:
     codesign.add_argument("--iterations", type=int, default=120, help="SCD iteration budget")
     codesign.add_argument("--seed", type=int, default=2019, help="search seed")
 
+    search = sub.add_parser("search", help="run the DNN search with a pluggable strategy")
+    search.add_argument("--strategy", default="scd", choices=available_strategies(),
+                        help="exploration strategy")
+    search.add_argument("--workers", type=int, default=1,
+                        help="parallel evaluation worker threads (1 = serial, reproducible)")
+    search.add_argument("--journal", default=None,
+                        help="write the SearchSession journal JSON to this path")
+    search.add_argument("--device", default="pynq-z1", help=f"target device ({', '.join(list_devices())})")
+    search.add_argument("--fps", type=float, nargs="+", default=[10.0, 15.0, 20.0],
+                        help="latency targets in frames per second")
+    search.add_argument("--tolerance-ms", type=float, default=8.0, help="latency tolerance band")
+    search.add_argument("--top-bundles", type=int, default=5, help="number of bundles to select")
+    search.add_argument("--candidates", type=int, default=2, help="candidates per bundle per target")
+    search.add_argument("--iterations", type=int, default=120, help="search iteration budget")
+    search.add_argument("--seed", type=int, default=2019, help="search seed")
+
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("name", choices=["fig4", "fig5", "fig6", "table2", "ablations"],
                             help="which table / figure to regenerate")
@@ -61,22 +83,66 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_codesign(args: argparse.Namespace) -> int:
+def _build_flow(args: argparse.Namespace, **flow_kwargs) -> CoDesignFlow:
+    """Construct the co-design flow shared by the codesign / search commands."""
     device = get_device(args.device)
     targets = tuple(
         LatencyTarget(fps=f, clock_mhz=device.default_clock_mhz, tolerance_ms=args.tolerance_ms)
         for f in args.fps
     )
     inputs = CoDesignInputs(task=DAC_SDC_TASK, device=device, latency_targets=targets)
-    flow = CoDesignFlow(
+    return CoDesignFlow(
         inputs,
         candidates_per_bundle=args.candidates,
         top_n_bundles=args.top_bundles,
         scd_iterations=args.iterations,
         rng=args.seed,
+        **flow_kwargs,
     )
+
+
+def _run_codesign(args: argparse.Namespace) -> int:
+    flow = _build_flow(args)
     result = flow.run()
     print(result.summary())
+    return 0
+
+
+def _run_search(args: argparse.Namespace) -> int:
+    from repro.core.auto_dnn import AutoDNN
+
+    flow = _build_flow(args, search_strategy=args.strategy, search_workers=args.workers)
+    session = SearchSession(
+        name=f"search-{args.strategy}",
+        metadata={
+            "strategy": args.strategy,
+            "seed": args.seed,
+            "workers": args.workers,
+            "device": args.device,
+            "fps": list(args.fps),
+            "tolerance_ms": args.tolerance_ms,
+            "iterations": args.iterations,
+        },
+    )
+    flow.step1_modeling()
+    _, _, selected = flow.step2_bundle_selection()
+    candidates = flow.step3_search(selected, session=session)
+    best = AutoDNN.best_per_target(candidates, flow.inputs.latency_targets)
+
+    print(f"Search strategy '{args.strategy}' on {flow.inputs.device.name} "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    print(f"  selected bundles  : {[b.bundle_id for b in selected]}")
+    print(f"  explored DNNs     : {len(candidates)}")
+    print(f"  {flow.auto_dnn.cache.stats().summary()}")
+    for target, candidate in best.items():
+        if candidate is None:
+            print(f"  {target}: no candidate met the target")
+        else:
+            print(f"  {target}: {candidate.summary()}")
+    print(session.summary())
+    if args.journal:
+        path = session.save(args.journal)
+        print(f"Journal written to {path}")
     return 0
 
 
@@ -145,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         configure_logging()
     if args.command == "codesign":
         return _run_codesign(args)
+    if args.command == "search":
+        return _run_search(args)
     if args.command == "experiment":
         return _run_experiment(args.name)
     if args.command == "codegen":

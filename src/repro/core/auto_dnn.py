@@ -25,11 +25,11 @@ from repro.core.auto_hls import AutoHLS, AutoHLSResult
 from repro.core.bundle import Bundle
 from repro.core.constraints import LatencyTarget, ResourceConstraint
 from repro.core.dnn_config import DNNConfig
-from repro.core.scd import SCDUnit
 from repro.detection.accuracy_model import AccuracyModel, SurrogateAccuracyModel
 from repro.detection.task import DetectionTask
 from repro.hw.analytical import PerformanceEstimate
 from repro.hw.device import FPGADevice
+from repro.search import EvaluationCache, ParallelEvaluator, SearchSession, create_explorer
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike, ensure_rng
 
@@ -80,6 +80,10 @@ class AutoDNN:
         candidates_per_bundle: int = 3,
         fine_tune_epochs: int = 200,
         rng: RNGLike = None,
+        strategy: str = "scd",
+        workers: int = 1,
+        session: Optional[SearchSession] = None,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
         self.task = task
         self.device = device
@@ -92,6 +96,13 @@ class AutoDNN:
         self.candidates_per_bundle = candidates_per_bundle
         self.fine_tune_epochs = fine_tune_epochs
         self.rng = ensure_rng(rng)
+        self.strategy = strategy
+        self.workers = workers
+        self.session = session
+        #: Memoizes estimator calls across bundles, targets and activations.
+        # Explicit None check: an empty EvaluationCache is falsy (__len__ == 0).
+        self.cache = cache if cache is not None else EvaluationCache(self.auto_hls.estimate)
+        self._parallel: Optional[ParallelEvaluator] = None
 
     # ---------------------------------------------------------- initialization
     def initialize(
@@ -132,7 +143,7 @@ class AutoDNN:
         best = config
         for pf in sorted(factors):
             candidate = config.with_updates(parallel_factor=pf)
-            estimate = self.auto_hls.estimate(candidate)
+            estimate = self.cache.evaluate(candidate)
             if self.resource_constraint.satisfied_by(estimate.resources):
                 best = candidate
             else:
@@ -140,6 +151,20 @@ class AutoDNN:
         return best
 
     # ----------------------------------------------------------------- search
+    def _parallel_for(self, workers: int) -> ParallelEvaluator:
+        """Worker pool shared across the whole search sweep."""
+        if self._parallel is None or self._parallel.workers != workers:
+            if self._parallel is not None:
+                self._parallel.close()
+            self._parallel = ParallelEvaluator(self.cache.estimator, workers=workers)
+        return self._parallel
+
+    def close(self) -> None:
+        """Release the shared worker pool."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
     def search_bundle(
         self,
         bundle: Bundle,
@@ -147,18 +172,25 @@ class AutoDNN:
         activation: str = "relu4",
         num_candidates: Optional[int] = None,
         max_iterations: int = 200,
+        strategy: Optional[str] = None,
+        session: Optional[SearchSession] = None,
+        workers: Optional[int] = None,
     ) -> list[DNNCandidate]:
         """Search K candidate DNNs for one bundle under one latency target."""
         num_candidates = num_candidates or self.candidates_per_bundle
+        strategy = strategy or self.strategy
         initial = self.initialize(bundle, activation=activation)
-        scd = SCDUnit(
-            estimator=self.auto_hls.estimate,
+        explorer = create_explorer(
+            strategy,
             latency_target=latency_target,
             resource_constraint=self.resource_constraint,
             max_iterations=max_iterations,
             rng=self.rng,
+            cache=self.cache,
+            session=session if session is not None else self.session,
+            parallel=self._parallel_for(workers if workers is not None else self.workers),
         )
-        result = scd.search(initial, num_candidates=num_candidates)
+        result = explorer.explore(initial, num_candidates=num_candidates)
 
         candidates: list[DNNCandidate] = []
         for config, estimate in zip(result.candidates, result.estimates):
@@ -170,8 +202,10 @@ class AutoDNN:
                 latency_target=latency_target,
             ))
         logger.info(
-            "Auto-DNN: bundle %d, target %s -> %d candidates (%d SCD iterations)",
-            bundle.bundle_id, latency_target, len(candidates), result.iterations,
+            "Auto-DNN: bundle %d, target %s -> %d candidates "
+            "(%s strategy, %d iterations, %d evaluations)",
+            bundle.bundle_id, latency_target, len(candidates),
+            result.strategy, result.iterations, result.evaluations,
         )
         return candidates
 
@@ -182,8 +216,18 @@ class AutoDNN:
         activations: Sequence[str] = ("relu4", "relu"),
         num_candidates: Optional[int] = None,
         max_iterations: int = 200,
+        strategy: Optional[str] = None,
+        session: Optional[SearchSession] = None,
+        workers: Optional[int] = None,
     ) -> list[DNNCandidate]:
-        """Search candidates across bundles, latency targets and activations."""
+        """Search candidates across bundles, latency targets and activations.
+
+        The evaluation cache is cleared on entry (the Auto-HLS coefficients
+        may have been refit since earlier estimates) and then shared across
+        the whole bundle x target x activation sweep, as is the parallel
+        worker pool.
+        """
+        self.cache.clear()
         all_candidates: list[DNNCandidate] = []
         for target in latency_targets:
             for bundle in bundles:
@@ -191,7 +235,10 @@ class AutoDNN:
                     all_candidates.extend(self.search_bundle(
                         bundle, target, activation=activation,
                         num_candidates=num_candidates, max_iterations=max_iterations,
+                        strategy=strategy, session=session, workers=workers,
                     ))
+        if session is not None:
+            session.attach_cache_stats(self.cache.stats())
         return all_candidates
 
     # ---------------------------------------------------------------- update

@@ -149,6 +149,8 @@ class BundleEvaluator:
         Accuracy does not depend on the parallel factor (it only changes the
         hardware implementation), so it is computed once per bundle.
         """
+        if not parallel_factors:
+            raise ValueError("parallel_factors must contain at least one parallel factor")
         evaluations: list[BundleEvaluation] = []
         for bundle in bundles:
             accuracy = self._accuracy(self._config_for(bundle, method, parallel_factors[0]))
@@ -221,6 +223,11 @@ class BundleEvaluator:
 
         candidates = [ev for ev in best_per_bundle.values() if ev.bundle_id in pareto_ids]
         max_latency = max(ev.latency_ms for ev in candidates)
+        if max_latency <= 0:
+            raise ValueError(
+                "All candidate latencies are non-positive; cannot rank bundles "
+                "by normalised latency (check the analytical model inputs)"
+            )
         best_accuracy = max(ev.accuracy for ev in candidates)
         candidates = [
             ev for ev in candidates if ev.accuracy >= min_accuracy_fraction * best_accuracy

@@ -33,6 +33,7 @@ from repro.detection.accuracy_model import AccuracyModel, SurrogateAccuracyModel
 from repro.detection.task import DAC_SDC_TASK, DetectionTask
 from repro.hw.device import FPGADevice, PYNQ_Z1
 from repro.hw.sampling import SamplingResult
+from repro.search import SearchSession
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike
 
@@ -108,6 +109,8 @@ class CoDesignFlow:
         top_n_bundles: int = 5,
         scd_iterations: int = 120,
         rng: RNGLike = 2019,
+        search_strategy: str = "scd",
+        search_workers: int = 1,
     ) -> None:
         self.inputs = inputs
         self.accuracy_model = accuracy_model or SurrogateAccuracyModel()
@@ -115,6 +118,8 @@ class CoDesignFlow:
         self.top_n_bundles = top_n_bundles
         self.scd_iterations = scd_iterations
         self.rng = rng
+        self.search_strategy = search_strategy
+        self.search_workers = search_workers
 
         self.auto_hls = AutoHLS(inputs.device)
         self.evaluator = BundleEvaluator(
@@ -130,6 +135,8 @@ class CoDesignFlow:
             resource_constraint=inputs.resource_constraint,
             candidates_per_bundle=candidates_per_bundle,
             rng=rng,
+            strategy=search_strategy,
+            workers=search_workers,
         )
 
     # ------------------------------------------------------------------ steps
@@ -159,13 +166,29 @@ class CoDesignFlow:
         fine = self.evaluator.fine_evaluate(selected)
         return coarse, fine, selected
 
-    def step3_search(self, selected: Sequence[Bundle]) -> list[DNNCandidate]:
-        """Co-Design Step 3: hardware-aware DNN search and update."""
+    def step3_search(
+        self,
+        selected: Sequence[Bundle],
+        strategy: Optional[str] = None,
+        workers: Optional[int] = None,
+        session: Optional[SearchSession] = None,
+    ) -> list[DNNCandidate]:
+        """Co-Design Step 3: hardware-aware DNN search and update.
+
+        ``strategy`` selects a registered exploration strategy (``scd``,
+        ``random``, ``evolutionary``, ``annealing``; defaults to the flow's
+        ``search_strategy``), ``workers`` overrides the number of parallel
+        evaluation threads for this call only, and ``session`` collects the
+        evaluation journal.
+        """
         candidates = self.auto_dnn.search(
             selected,
             self.inputs.latency_targets,
             num_candidates=self.candidates_per_bundle,
             max_iterations=self.scd_iterations,
+            strategy=strategy or self.search_strategy,
+            session=session,
+            workers=workers,
         )
         return self.auto_dnn.refine_with_hls(candidates)
 

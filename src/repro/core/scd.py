@@ -15,16 +15,22 @@ violate the resource constraint are rejected.  Every time the candidate's
 estimated latency falls inside the tolerance band it is recorded, and the
 search continues until ``K`` candidates have been collected (or the move
 budget is exhausted).
+
+The three coordinate moves are exposed as module-level functions
+(:func:`move_n`, :func:`move_pi`, :func:`move_x`) so that the alternative
+exploration strategies in :mod:`repro.search` operate over exactly the same
+move set as Algorithm 1.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.constraints import LatencyTarget, ResourceConstraint
 from repro.core.dnn_config import DNNConfig
 from repro.hw.analytical import PerformanceEstimate
+from repro.search.cache import EvaluationCache
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike, ensure_rng
 
@@ -33,8 +39,105 @@ logger = get_logger(__name__)
 #: Channel-expansion factors available to the SCD unit (Sec. 5.2.2).
 EXPANSION_FACTORS: tuple[float, ...] = (1.2, 1.3, 1.5, 1.75, 2.0)
 
+#: Names of the three search coordinates of Algorithm 1.
+MOVE_NAMES: tuple[str, ...] = ("N", "Pi", "X")
+
 #: An estimator maps a candidate configuration to (latency, resources).
 Estimator = Callable[[DNNConfig], PerformanceEstimate]
+
+
+# ---------------------------------------------------------------------- moves
+def move_n(
+    config: DNNConfig, direction: int, steps: int = 1, max_repetitions: int = 8
+) -> Optional[DNNConfig]:
+    """Add / remove bundle replications (the ``N`` coordinate)."""
+    new_reps = config.num_repetitions + direction * max(steps, 1)
+    new_reps = max(1, min(new_reps, max_repetitions))
+    if new_reps == config.num_repetitions:
+        return None
+    expansion = list(config.channel_expansion)
+    downsample = list(config.downsample)
+    while len(expansion) < new_reps:
+        expansion.append(expansion[-1])
+        downsample.append(0)
+    expansion = expansion[:new_reps]
+    downsample = downsample[:new_reps]
+    return config.with_updates(
+        num_repetitions=new_reps,
+        channel_expansion=tuple(expansion),
+        downsample=tuple(downsample),
+    )
+
+
+def move_pi(config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
+    """Grow / shrink channel-expansion factors (the ``Pi`` coordinate).
+
+    A unit move shifts one repetition's expansion factor to the next
+    (or previous) value of the discrete factor set; larger steps shift
+    more repetitions.
+    """
+    expansion = list(config.channel_expansion)
+    order = range(len(expansion)) if direction > 0 else range(len(expansion) - 1, -1, -1)
+    changed = 0
+    for index in order:
+        if changed >= max(steps, 1):
+            break
+        current = expansion[index]
+        # Snap to the closest allowed factor, then move one notch.
+        closest = min(range(len(EXPANSION_FACTORS)),
+                      key=lambda i: abs(EXPANSION_FACTORS[i] - current))
+        target = closest + (1 if direction > 0 else -1)
+        if 0 <= target < len(EXPANSION_FACTORS):
+            expansion[index] = EXPANSION_FACTORS[target]
+            changed += 1
+    if not changed:
+        return None
+    return config.with_updates(channel_expansion=tuple(expansion))
+
+
+def move_x(config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
+    """Insert / remove down-sampling layers (the ``X`` coordinate).
+
+    Removing a down-sample (direction > 0) keeps feature maps larger and
+    therefore *increases* latency; inserting one (direction < 0)
+    decreases it.
+    """
+    downsample = list(config.downsample)
+    changed = 0
+    if direction > 0:
+        for i in range(len(downsample) - 1, -1, -1):
+            if changed >= max(steps, 1):
+                break
+            if downsample[i] == 1 and sum(downsample) > 1:
+                downsample[i] = 0
+                changed += 1
+    else:
+        for i in range(len(downsample)):
+            if changed >= max(steps, 1):
+                break
+            if downsample[i] == 0:
+                downsample[i] = 1
+                changed += 1
+    if not changed:
+        return None
+    return config.with_updates(downsample=tuple(downsample))
+
+
+def apply_move(
+    name: str,
+    config: DNNConfig,
+    direction: int,
+    steps: int = 1,
+    max_repetitions: int = 8,
+) -> Optional[DNNConfig]:
+    """Apply one named coordinate move; returns ``None`` when it is a no-op."""
+    if name == "N":
+        return move_n(config, direction, steps, max_repetitions)
+    if name == "Pi":
+        return move_pi(config, direction, steps)
+    if name == "X":
+        return move_x(config, direction, steps)
+    raise ValueError(f"Unknown move '{name}'; expected one of {MOVE_NAMES}")
 
 
 @dataclass
@@ -51,7 +154,17 @@ class SCDResult:
 
 
 class SCDUnit:
-    """The stochastic coordinate descent search of Algorithm 1."""
+    """The stochastic coordinate descent search of Algorithm 1.
+
+    Parameters
+    ----------
+    cache:
+        Controls memoization of estimator calls.  ``None`` (default) wraps
+        ``estimator`` in a fresh :class:`repro.search.cache.EvaluationCache`
+        (the current config is re-estimated on every loop iteration, so
+        caching is a direct hot-path win); an existing cache instance is
+        shared as-is; ``False`` disables memoization entirely.
+    """
 
     def __init__(
         self,
@@ -61,6 +174,7 @@ class SCDUnit:
         max_repetitions: int = 8,
         max_iterations: int = 400,
         rng: RNGLike = None,
+        cache: Union[EvaluationCache, bool, None] = None,
     ) -> None:
         if max_repetitions <= 0 or max_iterations <= 0:
             raise ValueError("max_repetitions and max_iterations must be positive")
@@ -70,81 +184,27 @@ class SCDUnit:
         self.max_repetitions = max_repetitions
         self.max_iterations = max_iterations
         self.rng = ensure_rng(rng)
+        if cache is False:
+            self.cache: Optional[EvaluationCache] = None
+        elif cache is None or cache is True:
+            self.cache = EvaluationCache(estimator)
+        else:
+            self.cache = cache
 
     # ------------------------------------------------------------- moves
     def _move_n(self, config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
-        """Add / remove bundle replications."""
-        new_reps = config.num_repetitions + direction * max(steps, 1)
-        new_reps = max(1, min(new_reps, self.max_repetitions))
-        if new_reps == config.num_repetitions:
-            return None
-        expansion = list(config.channel_expansion)
-        downsample = list(config.downsample)
-        while len(expansion) < new_reps:
-            expansion.append(expansion[-1])
-            downsample.append(0)
-        expansion = expansion[:new_reps]
-        downsample = downsample[:new_reps]
-        return config.with_updates(
-            num_repetitions=new_reps,
-            channel_expansion=tuple(expansion),
-            downsample=tuple(downsample),
-        )
+        return move_n(config, direction, steps, self.max_repetitions)
 
     def _move_pi(self, config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
-        """Grow / shrink channel-expansion factors.
-
-        A unit move shifts one repetition's expansion factor to the next
-        (or previous) value of the discrete factor set; larger steps shift
-        more repetitions.
-        """
-        expansion = list(config.channel_expansion)
-        order = range(len(expansion)) if direction > 0 else range(len(expansion) - 1, -1, -1)
-        changed = 0
-        for index in order:
-            if changed >= max(steps, 1):
-                break
-            current = expansion[index]
-            # Snap to the closest allowed factor, then move one notch.
-            closest = min(range(len(EXPANSION_FACTORS)),
-                          key=lambda i: abs(EXPANSION_FACTORS[i] - current))
-            target = closest + (1 if direction > 0 else -1)
-            if 0 <= target < len(EXPANSION_FACTORS):
-                expansion[index] = EXPANSION_FACTORS[target]
-                changed += 1
-        if not changed:
-            return None
-        return config.with_updates(channel_expansion=tuple(expansion))
+        return move_pi(config, direction, steps)
 
     def _move_x(self, config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
-        """Insert / remove down-sampling layers.
-
-        Removing a down-sample (direction > 0) keeps feature maps larger and
-        therefore *increases* latency; inserting one (direction < 0)
-        decreases it.
-        """
-        downsample = list(config.downsample)
-        changed = 0
-        if direction > 0:
-            for i in range(len(downsample) - 1, -1, -1):
-                if changed >= max(steps, 1):
-                    break
-                if downsample[i] == 1 and sum(downsample) > 1:
-                    downsample[i] = 0
-                    changed += 1
-        else:
-            for i in range(len(downsample)):
-                if changed >= max(steps, 1):
-                    break
-                if downsample[i] == 0:
-                    downsample[i] = 1
-                    changed += 1
-        if not changed:
-            return None
-        return config.with_updates(downsample=tuple(downsample))
+        return move_x(config, direction, steps)
 
     # ------------------------------------------------------------ search loop
     def _latency(self, config: DNNConfig) -> PerformanceEstimate:
+        if self.cache is not None:
+            return self.cache.evaluate(config)
         return self.estimator(config)
 
     def _direction_towards_target(self, latency_gap_ms: float) -> int:

@@ -1,0 +1,74 @@
+"""Pluggable parallel exploration engine for the co-design search.
+
+The subsystem decouples *what* is searched (the N / Pi / X design space of
+Algorithm 1, evaluated by an analytical estimator) from *how* it is searched:
+
+* :mod:`repro.search.base` — the :class:`Explorer` API and strategy registry,
+* :mod:`repro.search.strategies` — the built-in ``scd`` / ``random`` /
+  ``evolutionary`` / ``annealing`` strategies (loaded lazily),
+* :mod:`repro.search.cache` — memoized estimator calls shared across
+  strategies, targets and bundles,
+* :mod:`repro.search.parallel` — batch evaluation across worker threads,
+* :mod:`repro.search.session` — the archivable evaluation journal.
+
+Quickstart::
+
+    from repro.search import create_explorer, EvaluationCache, SearchSession
+
+    explorer = create_explorer(
+        "evolutionary",
+        estimator=auto_hls.estimate,
+        latency_target=target,
+        resource_constraint=constraint,
+        rng=2019,
+        workers=4,
+        session=SearchSession("demo"),
+    )
+    result = explorer.explore(initial_config, num_candidates=3)
+"""
+
+from repro.search.base import (
+    ExplorationResult,
+    Explorer,
+    available_strategies,
+    create_explorer,
+    explorer_class,
+    register_explorer,
+)
+from repro.search.cache import CacheStats, EvaluationCache, config_cache_key
+from repro.search.parallel import ParallelEvaluator
+from repro.search.session import CandidateRecord, EvaluationRecord, SearchSession
+
+__all__ = [
+    "Explorer",
+    "ExplorationResult",
+    "available_strategies",
+    "create_explorer",
+    "explorer_class",
+    "register_explorer",
+    "CacheStats",
+    "EvaluationCache",
+    "config_cache_key",
+    "ParallelEvaluator",
+    "SearchSession",
+    "EvaluationRecord",
+    "CandidateRecord",
+]
+
+_STRATEGY_EXPORTS = {
+    "SCDExplorer",
+    "RandomExplorer",
+    "EvolutionaryExplorer",
+    "AnnealingExplorer",
+    "MoveBasedExplorer",
+}
+
+
+def __getattr__(name: str):
+    # Strategy classes import repro.core.scd, so they load lazily to keep
+    # repro.core -> repro.search.cache import order cycle-free.
+    if name in _STRATEGY_EXPORTS:
+        from repro.search import strategies
+
+        return getattr(strategies, name)
+    raise AttributeError(f"module 'repro.search' has no attribute '{name}'")

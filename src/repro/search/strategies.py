@@ -1,0 +1,221 @@
+"""Built-in exploration strategies over the SCD move set.
+
+All four strategies perturb candidates exclusively through the ``N`` / ``Pi``
+/ ``X`` coordinate moves of :mod:`repro.core.scd` (Algorithm 1's move set),
+so their results live in exactly the same design space and are directly
+comparable:
+
+* ``scd`` — adapter around the paper's :class:`~repro.core.scd.SCDUnit`,
+* ``random`` — randomized multi-start walk, batch-evaluated,
+* ``evolutionary`` — truncation-selection evolution of a population,
+* ``annealing`` — simulated annealing on the latency-gap energy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.dnn_config import DNNConfig
+from repro.core.scd import MOVE_NAMES, SCDUnit, apply_move
+from repro.hw.analytical import PerformanceEstimate
+from repro.search.base import Explorer, register_explorer
+
+#: Energy penalty (ms) for configurations that violate the resource budget.
+INFEASIBLE_PENALTY_MS = 1_000.0
+
+
+class MoveBasedExplorer(Explorer):
+    """Shared random-move machinery for the non-SCD strategies."""
+
+    def random_move(self, config: DNNConfig) -> DNNConfig:
+        """One random unit-ish move along a random coordinate."""
+        name = MOVE_NAMES[int(self.rng.integers(0, len(MOVE_NAMES)))]
+        direction = 1 if self.rng.random() < 0.5 else -1
+        steps = 1 + int(self.rng.integers(0, 2))
+        moved = apply_move(name, config, direction, steps, self.max_repetitions)
+        return moved if moved is not None else config
+
+    def random_walk(self, config: DNNConfig, max_moves: int = 3) -> DNNConfig:
+        """Apply 1..max_moves random moves in sequence."""
+        for _ in range(1 + int(self.rng.integers(0, max_moves))):
+            config = self.random_move(config)
+        return config
+
+    def energy(self, estimate: PerformanceEstimate) -> float:
+        """Distance to the latency target, heavily penalising infeasibility."""
+        gap = abs(self.latency_target.latency_ms - estimate.latency_ms)
+        if not self.feasible(estimate):
+            gap += INFEASIBLE_PENALTY_MS
+        return gap
+
+
+@register_explorer("scd")
+class SCDExplorer(Explorer):
+    """Adapter running the paper's SCD unit behind the Explorer API.
+
+    The wrapped :class:`SCDUnit` receives :meth:`Explorer.evaluate` as its
+    estimator (so every request is memoized and journaled) and runs with its
+    own internal cache disabled to avoid double caching.
+    """
+
+    def _explore(self, initial: DNNConfig, num_candidates: int) -> int:
+        unit = SCDUnit(
+            estimator=self.evaluate,
+            latency_target=self.latency_target,
+            resource_constraint=self.resource_constraint,
+            max_repetitions=self.max_repetitions,
+            max_iterations=self.max_iterations,
+            rng=self.rng,
+            cache=False,
+        )
+        result = unit.search(initial, num_candidates=num_candidates)
+        for config, estimate in zip(result.candidates, result.estimates):
+            self.consider(config, estimate)
+        return result.iterations
+
+
+@register_explorer("random")
+class RandomExplorer(MoveBasedExplorer):
+    """Randomized multi-start exploration.
+
+    Batches of random walks start from a pool seeded with the initial config;
+    accepted candidates and the per-batch config closest to the target join
+    the pool, so the walk drifts toward the band while staying stochastic.
+    Batches are evaluated through the worker pool.
+    """
+
+    def __init__(self, *args, batch_size: int = 8, pool_size: int = 12, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if batch_size < 1 or pool_size < 1:
+            raise ValueError("batch_size and pool_size must be >= 1")
+        self.batch_size = batch_size
+        self.pool_size = pool_size
+
+    def _explore(self, initial: DNNConfig, num_candidates: int) -> int:
+        estimate = self.evaluate(initial)
+        self.consider(initial, estimate)
+        pool: list[DNNConfig] = [initial]
+        rounds = 0
+        while len(self._candidates) < num_candidates and self.budget_left > 0:
+            rounds += 1
+            batch = []
+            for _ in range(min(self.batch_size, self.budget_left)):
+                base = pool[int(self.rng.integers(0, len(pool)))]
+                batch.append(self.random_walk(base))
+            estimates = self.evaluate_batch(batch)
+            best: Optional[tuple[DNNConfig, float]] = None
+            for config, est in zip(batch, estimates):
+                if self.consider(config, est):
+                    pool.append(config)
+                energy = self.energy(est)
+                if best is None or energy < best[1]:
+                    best = (config, energy)
+            if best is not None:
+                pool.append(best[0])
+            if len(pool) > self.pool_size:
+                pool = pool[-self.pool_size:]
+        return rounds
+
+
+@register_explorer("evolutionary")
+class EvolutionaryExplorer(MoveBasedExplorer):
+    """Truncation-selection evolution over the SCD move set.
+
+    Each generation is batch-evaluated (through the cache and worker pool),
+    the lowest-energy members become parents, and children are mutated
+    parents.  Elitism keeps the parents in the next generation.
+    """
+
+    def __init__(
+        self, *args, population_size: int = 12, num_parents: int = 4, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= num_parents < population_size:
+            raise ValueError("num_parents must be in [1, population_size)")
+        self.population_size = population_size
+        self.num_parents = num_parents
+
+    def _explore(self, initial: DNNConfig, num_candidates: int) -> int:
+        population = [initial] + [
+            self.random_walk(initial, max_moves=2)
+            for _ in range(self.population_size - 1)
+        ]
+        generations = 0
+        while len(self._candidates) < num_candidates and self.budget_left > 0:
+            generations += 1
+            population = population[: max(self.budget_left, 1)]
+            estimates = self.evaluate_batch(population)
+            scored = sorted(
+                zip(population, estimates), key=lambda pair: self.energy(pair[1])
+            )
+            for config, estimate in scored:
+                self.consider(config, estimate)
+            parents = [config for config, _ in scored[: self.num_parents]]
+            next_population = list(parents)
+            while len(next_population) < self.population_size:
+                parent = parents[int(self.rng.integers(0, len(parents)))]
+                next_population.append(self.random_walk(parent, max_moves=2))
+            population = next_population
+        return generations
+
+
+@register_explorer("annealing")
+class AnnealingExplorer(MoveBasedExplorer):
+    """Simulated annealing on the latency-gap energy.
+
+    Proposals are random moves; a worse proposal is accepted with probability
+    ``exp(-dE / T)`` and the temperature decays geometrically.  Accepted
+    in-band candidates restart the walk from a perturbed copy (mirroring the
+    SCD unit's diversification step).
+    """
+
+    def __init__(
+        self,
+        *args,
+        initial_temperature: Optional[float] = None,
+        cooling: float = 0.95,
+        min_temperature: float = 1e-3,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.min_temperature = min_temperature
+
+    def _explore(self, initial: DNNConfig, num_candidates: int) -> int:
+        temperature = self.initial_temperature
+        if temperature is None:
+            temperature = 4.0 * self.latency_target.tolerance_ms
+        current = initial
+        current_estimate = self.evaluate(current)
+        self.consider(current, current_estimate)
+        current_energy = self.energy(current_estimate)
+        iterations = 0
+        while len(self._candidates) < num_candidates and self.budget_left > 0:
+            iterations += 1
+            proposal = self.random_move(current)
+            proposal_estimate = self.evaluate(proposal)
+            proposal_energy = self.energy(proposal_estimate)
+            if self.consider(proposal, proposal_estimate):
+                # Diversify away from an accepted candidate; re-evaluate the
+                # perturbed config so the Metropolis baseline matches the
+                # actual current state.
+                current = self.random_move(proposal)
+                if self.budget_left <= 0:
+                    break
+                current_estimate = self.evaluate(current)
+                self.consider(current, current_estimate)
+                current_energy = self.energy(current_estimate)
+                temperature = max(temperature * self.cooling, self.min_temperature)
+                continue
+            delta = proposal_energy - current_energy
+            if delta <= 0 or self.rng.random() < math.exp(-delta / temperature):
+                current = proposal
+                current_energy = proposal_energy
+            temperature = max(temperature * self.cooling, self.min_temperature)
+        return iterations
