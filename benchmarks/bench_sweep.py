@@ -1,0 +1,80 @@
+"""Sweep-engine benchmarks: process fan-out and disk-cache warm-up.
+
+Measures (1) the wall-time effect of fanning the device x strategy grid out
+across worker processes versus running it serially, and (2) the speedup a
+warm :class:`~repro.sweep.disk_cache.DiskEvaluationCache` buys a repeated
+sweep — both in wall time and in avoided estimator invocations (the
+deterministic, machine-independent measure).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.sweep import SweepRunner, build_grid
+
+#: Tiny but non-trivial grid: 2 devices x 2 strategies, one target each.
+GRID = dict(
+    devices="pynq-z1,ultra96",
+    strategies="scd,random",
+    fps_targets=[40.0],
+)
+BUDGET = dict(tolerance_ms=10.0, iterations=40, num_candidates=2, top_bundles=3, seed=1)
+
+
+def _journals(result):
+    return [outcome.journal for outcome in result.outcomes]
+
+
+def test_serial_vs_process_fanout(benchmark):
+    """Same grid, serial in-process vs a 4-process pool: identical journals."""
+    tasks = build_grid(**GRID, **BUDGET)
+
+    start = time.perf_counter()
+    serial = SweepRunner(tasks, workers=1).run()
+    serial_time = time.perf_counter() - start
+
+    pooled = benchmark.pedantic(
+        lambda: SweepRunner(tasks, workers=4).run(),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    pooled_time = benchmark.stats.stats.mean
+
+    speedup = serial_time / pooled_time if pooled_time > 0 else float("inf")
+    print(f"\n[sweep fan-out] {len(tasks)} tasks: serial {serial_time * 1e3:.0f} ms, "
+          f"4 processes {pooled_time * 1e3:.0f} ms ({speedup:.2f}x)")
+    # The fan-out must be a pure execution-mode change.
+    assert _journals(serial) == _journals(pooled)
+    assert serial.estimator_calls == pooled.estimator_calls
+
+
+def test_cold_vs_warm_disk_cache(benchmark, tmp_path):
+    """A warm re-run serves every estimate from disk: zero estimator calls."""
+    tasks = build_grid(**GRID, **BUDGET)
+    cache_dir = tmp_path / "sweep-cache"
+
+    start = time.perf_counter()
+    cold = SweepRunner(tasks, workers=1, cache_dir=cache_dir).run()
+    cold_time = time.perf_counter() - start
+
+    warm = benchmark.pedantic(
+        lambda: SweepRunner(tasks, workers=1, cache_dir=cache_dir).run(),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    warm_time = benchmark.stats.stats.mean
+
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    hit_rate = sum(o.disk_hits for o in warm.outcomes) / max(
+        sum(o.disk_hits + o.disk_misses for o in warm.outcomes), 1
+    )
+    print(f"\n[sweep disk cache] estimator calls {cold.estimator_calls} -> "
+          f"{warm.estimator_calls}, wall {cold_time * 1e3:.0f} ms -> "
+          f"{warm_time * 1e3:.0f} ms ({speedup:.2f}x), "
+          f"warm hit rate {hit_rate:.1%}")
+    # The warm run must be measurably cheaper in real estimator work.
+    assert cold.estimator_calls > 0
+    assert warm.estimator_calls == 0
+    assert hit_rate == 1.0
+    assert _journals(cold) == _journals(warm)

@@ -11,6 +11,12 @@ evaluation workers and an archivable journal::
 
     repro-codesign search --strategy evolutionary --workers 4 --journal out.json
 
+Fan a device x strategy x latency-target sweep out across worker processes
+with a persistent evaluation cache and a comparison report::
+
+    repro-codesign sweep --devices pynq-z1,ultra96 --strategies scd,random \
+        --workers 4 --cache-dir .sweep-cache --report sweep.json
+
 Regenerate a specific paper artefact::
 
     repro-codesign experiment table2
@@ -34,6 +40,18 @@ from repro.search import SearchSession, available_strategies
 from repro.utils.logging import configure_logging
 
 
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    """Search-budget arguments shared by codesign / search / sweep."""
+    parser.add_argument("--fps", type=float, nargs="+", default=[10.0, 15.0, 20.0],
+                        help="latency targets in frames per second")
+    parser.add_argument("--tolerance-ms", type=float, default=8.0,
+                        help="latency tolerance band")
+    parser.add_argument("--top-bundles", type=int, default=5, help="number of bundles to select")
+    parser.add_argument("--candidates", type=int, default=2, help="candidates per bundle per target")
+    parser.add_argument("--iterations", type=int, default=120, help="search iteration budget")
+    parser.add_argument("--seed", type=int, default=2019, help="search seed")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-codesign",
@@ -44,13 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     codesign = sub.add_parser("codesign", help="run the full co-design flow")
     codesign.add_argument("--device", default="pynq-z1", help=f"target device ({', '.join(list_devices())})")
-    codesign.add_argument("--fps", type=float, nargs="+", default=[10.0, 15.0, 20.0],
-                          help="latency targets in frames per second")
-    codesign.add_argument("--tolerance-ms", type=float, default=8.0, help="latency tolerance band")
-    codesign.add_argument("--top-bundles", type=int, default=5, help="number of bundles to select")
-    codesign.add_argument("--candidates", type=int, default=2, help="candidates per bundle per target")
-    codesign.add_argument("--iterations", type=int, default=120, help="SCD iteration budget")
-    codesign.add_argument("--seed", type=int, default=2019, help="search seed")
+    _add_budget_args(codesign)
 
     search = sub.add_parser("search", help="run the DNN search with a pluggable strategy")
     search.add_argument("--strategy", default="scd", choices=available_strategies(),
@@ -60,13 +72,22 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--journal", default=None,
                         help="write the SearchSession journal JSON to this path")
     search.add_argument("--device", default="pynq-z1", help=f"target device ({', '.join(list_devices())})")
-    search.add_argument("--fps", type=float, nargs="+", default=[10.0, 15.0, 20.0],
-                        help="latency targets in frames per second")
-    search.add_argument("--tolerance-ms", type=float, default=8.0, help="latency tolerance band")
-    search.add_argument("--top-bundles", type=int, default=5, help="number of bundles to select")
-    search.add_argument("--candidates", type=int, default=2, help="candidates per bundle per target")
-    search.add_argument("--iterations", type=int, default=120, help="search iteration budget")
-    search.add_argument("--seed", type=int, default=2019, help="search seed")
+    _add_budget_args(search)
+
+    sweep = sub.add_parser(
+        "sweep", help="fan a device x strategy x target grid across worker processes"
+    )
+    sweep.add_argument("--devices", default="pynq-z1",
+                       help=f"comma-separated device names ('all' = {', '.join(list_devices())})")
+    sweep.add_argument("--strategies", default="scd",
+                       help=f"comma-separated strategies ({', '.join(available_strategies())})")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persistent evaluation-cache directory (JSON-lines shards)")
+    sweep.add_argument("--report", default=None,
+                       help="write the comparison report JSON to this path")
+    _add_budget_args(sweep)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("name", choices=["fig4", "fig5", "fig6", "table2", "ablations"],
@@ -146,6 +167,33 @@ def _run_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepRunner, build_grid, compare
+    from repro.utils.serialization import dump_json
+
+    tasks = build_grid(
+        args.devices,
+        args.strategies,
+        args.fps,
+        tolerance_ms=args.tolerance_ms,
+        iterations=args.iterations,
+        num_candidates=args.candidates,
+        top_bundles=args.top_bundles,
+        seed=args.seed,
+    )
+    runner = SweepRunner(tasks, workers=args.workers, cache_dir=args.cache_dir)
+    result = runner.run()
+    comparison = compare(result)
+    print(result.summary())
+    print()
+    print(comparison.render())
+    if args.report:
+        payload = {"sweep": result.as_dict(), "comparison": comparison.as_dict()}
+        path = dump_json(payload, args.report)
+        print(f"Report written to {path}")
+    return 0
+
+
 def _run_experiment(name: str) -> int:
     if name == "fig4":
         from repro.experiments.fig4 import report_fig4, run_fig4
@@ -213,6 +261,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_codesign(args)
     if args.command == "search":
         return _run_search(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "experiment":
         return _run_experiment(args.name)
     if args.command == "codegen":

@@ -33,7 +33,7 @@ from repro.detection.accuracy_model import AccuracyModel, SurrogateAccuracyModel
 from repro.detection.task import DAC_SDC_TASK, DetectionTask
 from repro.hw.device import FPGADevice, PYNQ_Z1
 from repro.hw.sampling import SamplingResult
-from repro.search import SearchSession
+from repro.search import EvaluationCache, SearchSession
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike
 
@@ -111,6 +111,7 @@ class CoDesignFlow:
         rng: RNGLike = 2019,
         search_strategy: str = "scd",
         search_workers: int = 1,
+        evaluation_cache: Optional[EvaluationCache] = None,
     ) -> None:
         self.inputs = inputs
         self.accuracy_model = accuracy_model or SurrogateAccuracyModel()
@@ -137,7 +138,22 @@ class CoDesignFlow:
             rng=rng,
             strategy=search_strategy,
             workers=search_workers,
+            cache=evaluation_cache,
         )
+
+    def attach_evaluation_cache(self, cache: EvaluationCache) -> None:
+        """Swap the search-side evaluation cache after construction.
+
+        The sweep engine uses this to layer a persistent
+        :class:`~repro.sweep.disk_cache.DiskEvaluationCache` under the
+        in-memory cache once step 1 has fitted the model coefficients (the
+        disk namespace embeds their fingerprint, so the cache can only be
+        built post-fit).
+        """
+        self.auto_dnn.cache = cache
+        # Drop any existing worker pool: it is bound to the old cache's
+        # estimator and would silently bypass the new cache on batch misses.
+        self.auto_dnn.close()
 
     # ------------------------------------------------------------------ steps
     def step1_modeling(self, sample_bundle_ids: Sequence[int] = (1, 7, 13)) -> SamplingResult:

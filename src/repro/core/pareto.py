@@ -19,21 +19,26 @@ def pareto_front(
     returned list is sorted by increasing cost.
     """
     items = list(items)
-    front: list[T] = []
-    for candidate in items:
+    # cost()/value() may be arbitrarily expensive; evaluate each exactly once
+    # instead of O(n^2) times inside the dominance loop.
+    costs = [cost(item) for item in items]
+    values = [value(item) for item in items]
+    front: list[tuple[float, T]] = []
+    for i, candidate in enumerate(items):
         dominated = False
-        for other in items:
-            if other is candidate:
+        for j in range(len(items)):
+            if j == i:
                 continue
-            better_cost = cost(other) <= cost(candidate)
-            better_value = value(other) >= value(candidate)
-            strictly = cost(other) < cost(candidate) or value(other) > value(candidate)
+            better_cost = costs[j] <= costs[i]
+            better_value = values[j] >= values[i]
+            strictly = costs[j] < costs[i] or values[j] > values[i]
             if better_cost and better_value and strictly:
                 dominated = True
                 break
         if not dominated:
-            front.append(candidate)
-    return sorted(front, key=cost)
+            front.append((costs[i], candidate))
+    front.sort(key=lambda pair: pair[0])
+    return [candidate for _, candidate in front]
 
 
 def group_by(

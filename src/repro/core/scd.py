@@ -30,7 +30,7 @@ from typing import Callable, Optional, Sequence, Union
 from repro.core.constraints import LatencyTarget, ResourceConstraint
 from repro.core.dnn_config import DNNConfig
 from repro.hw.analytical import PerformanceEstimate
-from repro.search.cache import EvaluationCache
+from repro.search.cache import EvaluationCache, config_cache_key
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike, ensure_rng
 
@@ -237,7 +237,10 @@ class SCDUnit:
             if self.latency_target.within_band(lat) and self.resource_constraint.satisfied_by(
                 estimate.resources
             ):
-                key = current.describe()
+                # Dedup on the structural cache key: describe() summarises the
+                # Pi / X vectors as "maximum N channels" and would alias
+                # distinct in-band candidates, silently dropping them.
+                key = config_cache_key(current)
                 if key not in seen:
                     seen.add(key)
                     candidates.append(current)

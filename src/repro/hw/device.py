@@ -9,6 +9,7 @@ the methodology "can be easily extended ... for devices with more resources".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.hw.resource import ResourceUtilization, ResourceVector
 
@@ -127,3 +128,30 @@ def get_device(name: str) -> FPGADevice:
 def list_devices() -> list[str]:
     """Names of all devices in the catalogue."""
     return sorted(d.name for d in _DEVICES.values())
+
+
+def resolve_devices(spec: str | Sequence[str]) -> list[FPGADevice]:
+    """Resolve a multi-device spec to catalogue devices.
+
+    ``spec`` is either a comma-separated string (``"pynq-z1,ultra96"``) or a
+    sequence of names; the keyword ``all`` expands to the whole catalogue.
+    Order is preserved, duplicates are dropped, and unknown names raise the
+    same :class:`KeyError` as :func:`get_device`.
+    """
+    if isinstance(spec, str):
+        names = [part.strip() for part in spec.split(",") if part.strip()]
+    else:
+        names = [str(part).strip() for part in spec if str(part).strip()]
+    if not names:
+        raise ValueError("At least one device name is required")
+    resolved: list[FPGADevice] = []
+    for name in names:
+        batch = (
+            [_DEVICES[key] for key in sorted(_DEVICES)]
+            if name.lower() == "all"
+            else [get_device(name)]
+        )
+        for device in batch:
+            if device not in resolved:
+                resolved.append(device)
+    return resolved

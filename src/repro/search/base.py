@@ -160,7 +160,8 @@ class Explorer(ABC):
         """Accept ``config`` as a candidate when in band, feasible and new."""
         if not (self.in_band(estimate) and self.feasible(estimate)):
             return False
-        key = config.describe()
+        # Structural key (not describe(), which aliases distinct Pi/X configs).
+        key = self.cache.key_fn(config)
         if key in self._seen:
             return False
         self._seen.add(key)

@@ -30,10 +30,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 
 def config_cache_key(config: "DNNConfig") -> str:
-    """Structural cache key: ``describe()`` plus the exact Pi / X vectors."""
+    """Structural cache key: ``describe()`` plus the exact Pi / X vectors.
+
+    The detection task is part of the key (``describe()`` omits it): the
+    input resolution changes every latency, so configs from different tasks
+    must never share a slot — especially in the persistent disk cache, which
+    outlives a single search.
+    """
     pi = ",".join(f"{factor:g}" for factor in config.channel_expansion)
     x = ",".join(str(flag) for flag in config.downsample)
-    return f"{config.describe()} | Pi=[{pi}] X=[{x}] stem={config.stem_channels}"
+    c, h, w = config.task.input_shape
+    return (
+        f"{config.describe()} | Pi=[{pi}] X=[{x}] stem={config.stem_channels} "
+        f"task={config.task.name}@{c}x{h}x{w}"
+    )
 
 
 @dataclass(frozen=True)

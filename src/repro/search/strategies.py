@@ -183,6 +183,8 @@ class AnnealingExplorer(MoveBasedExplorer):
         super().__init__(*args, **kwargs)
         if not 0.0 < cooling < 1.0:
             raise ValueError("cooling must be in (0, 1)")
+        if min_temperature <= 0.0:
+            raise ValueError("min_temperature must be positive")
         self.initial_temperature = initial_temperature
         self.cooling = cooling
         self.min_temperature = min_temperature
@@ -191,6 +193,9 @@ class AnnealingExplorer(MoveBasedExplorer):
         temperature = self.initial_temperature
         if temperature is None:
             temperature = 4.0 * self.latency_target.tolerance_ms
+        # A zero-tolerance band (or an explicit 0) would make the Metropolis
+        # step divide by zero; the floor also keeps cooling well-defined.
+        temperature = max(temperature, self.min_temperature)
         current = initial
         current_estimate = self.evaluate(current)
         self.consider(current, current_estimate)

@@ -1,0 +1,50 @@
+"""Process-based multi-device sweep engine with a persistent cache.
+
+The sweep subsystem scales the co-design search along the axes the paper
+leaves open — "devices with more resources", alternative exploration
+strategies and several latency targets at once:
+
+* :mod:`repro.sweep.runner` — :func:`build_grid` /
+  :class:`SweepRunner`: fan a (device x strategy x latency-target) grid out
+  across worker processes, one archivable journal per task,
+* :mod:`repro.sweep.disk_cache` — :class:`DiskEvaluationCache`: JSON-lines
+  estimator memoization that persists across processes and runs, layered
+  under the in-memory :class:`~repro.search.cache.EvaluationCache`,
+* :mod:`repro.sweep.compare` — :func:`compare`: journal-driven
+  cross-strategy / cross-device report (text and JSON).
+
+Quickstart::
+
+    from repro.sweep import SweepRunner, build_grid, compare
+
+    tasks = build_grid("pynq-z1,ultra96", "scd,random", [20.0, 30.0])
+    result = SweepRunner(tasks, workers=4, cache_dir=".sweep-cache").run()
+    print(result.summary())
+    print(compare(result).render())
+"""
+
+from repro.sweep.compare import DeviceWinner, StrategySummary, SweepComparison, compare
+from repro.sweep.disk_cache import DiskEvaluationCache, coefficients_fingerprint
+from repro.sweep.runner import (
+    SweepOutcome,
+    SweepResult,
+    SweepRunner,
+    SweepTask,
+    build_grid,
+    run_sweep_task,
+)
+
+__all__ = [
+    "SweepTask",
+    "SweepOutcome",
+    "SweepResult",
+    "SweepRunner",
+    "build_grid",
+    "run_sweep_task",
+    "DiskEvaluationCache",
+    "coefficients_fingerprint",
+    "SweepComparison",
+    "StrategySummary",
+    "DeviceWinner",
+    "compare",
+]

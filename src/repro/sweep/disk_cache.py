@@ -1,0 +1,226 @@
+"""Persistent on-disk evaluation cache (JSON-lines).
+
+:class:`DiskEvaluationCache` memoizes analytical-estimator calls *across
+process boundaries and across runs*: every newly estimated configuration is
+appended as one JSON line to a shard file inside the cache directory, and a
+fresh instance reloads every shard on open.  It exposes the same callable
+protocol as a plain estimator, so it layers *under* the in-memory
+:class:`repro.search.cache.EvaluationCache`::
+
+    disk = DiskEvaluationCache(auto_hls.estimate, cache_dir,
+                               device=device.name, clock_mhz=100.0,
+                               context=coefficients_fingerprint(coeffs))
+    cache = EvaluationCache(disk)   # memory layer on top
+
+With that stack, a repeated same-seed sweep serves every estimate from disk
+and never invokes the estimator at all (``disk.misses`` is the exact count
+of real estimator invocations).
+
+Entries are namespaced by ``device @ clock | context``: an estimate is only
+valid for the device, accelerator clock and fitted model coefficients it was
+computed under, so the context should embed a coefficients fingerprint
+(:func:`coefficients_fingerprint`).  Writes go to a per-instance shard file,
+which keeps concurrent sweep workers from interleaving appends; reads scan
+every shard of the instance's namespace (shard file names are
+namespace-prefixed, so other devices' shards are never parsed), so workers
+still share each other's results on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+import threading
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.hw.analytical import PerformanceEstimate
+from repro.hw.resource import ResourceVector
+from repro.search.cache import CacheStats, config_cache_key
+from repro.utils.logging import get_logger
+from repro.utils.serialization import to_jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dnn_config import DNNConfig
+    from repro.hw.analytical import AnalyticalModelCoefficients
+
+logger = get_logger(__name__)
+
+
+def coefficients_fingerprint(coefficients: "AnalyticalModelCoefficients") -> str:
+    """Short, stable fingerprint of a set of analytical-model coefficients.
+
+    Embedded in the disk-cache namespace so that entries computed under one
+    coefficient fit can never be served after a refit changed the model.
+    """
+    payload = json.dumps(to_jsonable(coefficients), sort_keys=True)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def _sanitize(name: str) -> str:
+    """Make ``name`` safe as a file-name stem."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_") or "cache"
+
+
+def _estimate_payload(estimate: PerformanceEstimate) -> dict:
+    return {
+        "latency_ms": float(estimate.latency_ms),
+        "compute_ms": float(estimate.compute_ms),
+        "data_movement_ms": float(estimate.data_movement_ms),
+        "resources": {
+            "lut": float(estimate.resources.lut),
+            "ff": float(estimate.resources.ff),
+            "dsp": float(estimate.resources.dsp),
+            "bram": float(estimate.resources.bram),
+        },
+    }
+
+
+def _estimate_from_payload(payload: dict) -> Optional[PerformanceEstimate]:
+    try:
+        resources = payload.get("resources", {})
+        return PerformanceEstimate(
+            latency_ms=float(payload["latency_ms"]),
+            resources=ResourceVector(
+                lut=float(resources.get("lut", 0.0)),
+                ff=float(resources.get("ff", 0.0)),
+                dsp=float(resources.get("dsp", 0.0)),
+                bram=float(resources.get("bram", 0.0)),
+            ),
+            compute_ms=float(payload.get("compute_ms", 0.0)),
+            data_movement_ms=float(payload.get("data_movement_ms", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class DiskEvaluationCache:
+    """JSON-lines-backed estimator memoization, shared across runs.
+
+    Parameters
+    ----------
+    estimator:
+        The underlying estimator invoked on a miss.
+    directory:
+        Cache directory; created when missing.  Every shard of this
+        instance's namespace in it is loaded on open.
+    device:
+        Device name the estimates belong to (part of the namespace).
+    clock_mhz:
+        Accelerator clock the estimates were computed at.
+    context:
+        Extra namespace component, typically a coefficients fingerprint.
+    shard:
+        Stem of the shard file new entries are appended to.  Give every
+        concurrent writer (one sweep task = one worker process) a unique
+        shard so appends never interleave; defaults to the namespace.
+    """
+
+    def __init__(
+        self,
+        estimator: Callable[["DNNConfig"], PerformanceEstimate],
+        directory,
+        *,
+        device: str,
+        clock_mhz: float = 100.0,
+        context: str = "",
+        shard: Optional[str] = None,
+        key_fn: Callable[["DNNConfig"], str] = config_cache_key,
+    ) -> None:
+        self.estimator = estimator
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.key_fn = key_fn
+        self.namespace = f"{device}@{clock_mhz:g}MHz"
+        if context:
+            self.namespace += f"|{context}"
+        # Shard files are namespace-prefixed so loading can skip shards of
+        # other devices / coefficient fits without parsing them.
+        self._prefix = _sanitize(self.namespace)
+        self.shard_path = self.directory / f"{self._prefix}--{_sanitize(shard or 'main')}.jsonl"
+        self._store: dict[str, PerformanceEstimate] = {}
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+        self._load()
+
+    # ------------------------------------------------------------ persistence
+    def _load(self) -> None:
+        loaded = 0
+        # Only shards of this namespace are parsed; the per-record namespace
+        # check below stays as a guard against sanitization collisions.
+        for path in sorted(self.directory.glob(f"{self._prefix}--*.jsonl")):
+            try:
+                lines = path.read_text().splitlines()
+            except OSError:  # pragma: no cover - unreadable shard
+                continue
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:  # torn write: skip the line
+                    continue
+                if record.get("namespace") != self.namespace:
+                    continue
+                estimate = _estimate_from_payload(record.get("estimate", {}))
+                key = record.get("key")
+                if estimate is not None and isinstance(key, str):
+                    self._store[key] = estimate
+                    loaded += 1
+        if loaded:
+            logger.debug("disk cache loaded %d entries for %s", loaded, self.namespace)
+
+    def _append(self, key: str, estimate: PerformanceEstimate) -> None:
+        record = {
+            "namespace": self.namespace,
+            "key": key,
+            "estimate": _estimate_payload(estimate),
+        }
+        with self.shard_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------- evaluation
+    def __call__(self, config: "DNNConfig") -> PerformanceEstimate:
+        return self.evaluate(config)
+
+    def evaluate(self, config: "DNNConfig") -> PerformanceEstimate:
+        return self.evaluate_with_info(config)[0]
+
+    def evaluate_with_info(self, config: "DNNConfig") -> tuple[PerformanceEstimate, bool]:
+        """Evaluate one config; returns ``(estimate, served_from_disk)``."""
+        key = self.key_fn(config)
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached, True
+        value = self.estimator(config)
+        with self._lock:
+            self._misses += 1
+            if key not in self._store:
+                self._store[key] = value
+                self._append(key, value)
+        return value, False
+
+    # ------------------------------------------------------------ bookkeeping
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Real estimator invocations (disk misses)."""
+        return self._misses
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses, size=len(self._store))
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, config: "DNNConfig") -> bool:
+        return self.key_fn(config) in self._store

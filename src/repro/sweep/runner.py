@@ -1,0 +1,316 @@
+"""Process-based multi-device sweep engine.
+
+A sweep fans a (device x strategy x latency-target) grid out across
+**worker processes**.  The per-search :class:`~repro.search.parallel.ParallelEvaluator`
+parallelises estimator batches with threads *inside* one search; the sweep
+parallelises whole co-design searches, which are CPU-bound Python, so
+processes are the right executor here.  Every ingredient of a task is a
+picklable primitive (:class:`SweepTask` carries names, numbers and a seed;
+the worker rebuilds devices, estimators and flows on its side), which keeps
+the fan-out start-method agnostic.
+
+Each task runs the full co-design pipeline (model fitting, bundle
+selection, strategy-driven DNN search, Auto-HLS refinement) and produces a
+:class:`SweepOutcome`: the archivable :class:`~repro.search.session.SearchSession`
+journal plus cache and timing accounting.  A task's journal depends only on
+the task itself — never on the worker count or on the warmth of the disk
+cache — so ``workers=8`` and ``workers=1`` produce identical journals.
+
+When a cache directory is given, every worker layers the persistent
+:class:`~repro.sweep.disk_cache.DiskEvaluationCache` under its in-memory
+cache, so repeated sweeps and re-runs skip estimator calls entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.hw.device import resolve_devices
+from repro.search import available_strategies
+from repro.utils.logging import get_logger
+from repro.utils.serialization import dump_json, to_jsonable
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the sweep grid: a device, a strategy and a target.
+
+    Deliberately made of picklable primitives only; the worker process
+    rebuilds the heavyweight objects (device, estimator, flow) from them.
+    """
+
+    device: str
+    strategy: str
+    fps: float
+    tolerance_ms: float = 8.0
+    iterations: int = 120
+    num_candidates: int = 2
+    top_bundles: int = 5
+    seed: int = 2019
+
+    @property
+    def name(self) -> str:
+        return f"{self.device}-{self.strategy}-{self.fps:g}fps"
+
+
+def build_grid(
+    devices: Union[str, Sequence[str]],
+    strategies: Union[str, Sequence[str]],
+    fps_targets: Sequence[float],
+    *,
+    tolerance_ms: float = 8.0,
+    iterations: int = 120,
+    num_candidates: int = 2,
+    top_bundles: int = 5,
+    seed: int = 2019,
+) -> list[SweepTask]:
+    """Build the device x strategy x latency-target task grid.
+
+    ``devices`` and ``strategies`` accept comma-separated strings or
+    sequences of names; both are validated eagerly so a typo fails before
+    any worker is spawned.  The grid order (devices outermost, targets
+    innermost) is deterministic, and every axis is deduplicated — duplicate
+    cells would run twice and make two workers append to the same
+    disk-cache shard.
+    """
+    resolved_devices = resolve_devices(devices)
+    if isinstance(strategies, str):
+        strategy_names = [part.strip() for part in strategies.split(",") if part.strip()]
+    else:
+        strategy_names = [str(part).strip() for part in strategies if str(part).strip()]
+    strategy_names = list(dict.fromkeys(strategy_names))
+    if not strategy_names:
+        raise ValueError("At least one strategy is required")
+    known = set(available_strategies())
+    for name in strategy_names:
+        if name not in known:
+            raise ValueError(
+                f"Unknown search strategy '{name}'; available: {', '.join(sorted(known))}"
+            )
+    fps_values = list(dict.fromkeys(float(fps) for fps in fps_targets))
+    if not fps_values:
+        raise ValueError("At least one FPS target is required")
+    if any(fps <= 0 for fps in fps_values):
+        raise ValueError("FPS targets must be positive")
+    if tolerance_ms <= 0:
+        raise ValueError("tolerance_ms must be positive")
+    if iterations <= 0 or num_candidates <= 0 or top_bundles <= 0:
+        raise ValueError("iterations, num_candidates and top_bundles must be positive")
+    return [
+        SweepTask(
+            device=device.name,
+            strategy=strategy,
+            fps=float(fps),
+            tolerance_ms=tolerance_ms,
+            iterations=iterations,
+            num_candidates=num_candidates,
+            top_bundles=top_bundles,
+            seed=seed,
+        )
+        for device in resolved_devices
+        for strategy in strategy_names
+        for fps in fps_values
+    ]
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep task produced (picklable, JSON-able)."""
+
+    task: SweepTask
+    journal: dict
+    selected_bundles: list[int]
+    num_candidates: int
+    best_latency_ms: Optional[float]
+    best_gap_ms: Optional[float]
+    evaluations: int
+    memory_hits: int
+    memory_misses: int
+    disk_hits: int
+    disk_misses: int
+    estimator_calls: int
+    duration_s: float
+
+    @property
+    def disk_hit_rate(self) -> float:
+        """Fraction of disk-layer requests served from disk (0 when unused)."""
+        total = self.disk_hits + self.disk_misses
+        return self.disk_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        gap = f"{self.best_gap_ms:.2f} ms gap" if self.best_gap_ms is not None else "no candidate"
+        line = (
+            f"{self.task.name}: {self.num_candidates} candidates ({gap}), "
+            f"{self.evaluations} evaluations, {self.estimator_calls} estimator calls"
+        )
+        if self.disk_hits or self.disk_misses:
+            line += f", disk cache {self.disk_hit_rate:.0%} hit rate"
+        line += f", {self.duration_s:.2f}s"
+        return line
+
+
+def run_sweep_task(task: SweepTask, cache_dir: Optional[str] = None) -> SweepOutcome:
+    """Execute one sweep task (this is the process-pool worker function)."""
+    # Imported here so a forked/spawned worker resolves everything locally.
+    from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
+    from repro.core.auto_dnn import AutoDNN
+    from repro.detection.task import DAC_SDC_TASK
+    from repro.hw.device import get_device
+    from repro.search import EvaluationCache, SearchSession
+    from repro.sweep.disk_cache import DiskEvaluationCache, coefficients_fingerprint
+
+    start = time.perf_counter()
+    device = get_device(task.device)
+    target = LatencyTarget(
+        fps=task.fps, clock_mhz=device.default_clock_mhz, tolerance_ms=task.tolerance_ms
+    )
+    inputs = CoDesignInputs(task=DAC_SDC_TASK, device=device, latency_targets=(target,))
+    flow = CoDesignFlow(
+        inputs,
+        candidates_per_bundle=task.num_candidates,
+        top_n_bundles=task.top_bundles,
+        scd_iterations=task.iterations,
+        rng=task.seed,
+        search_strategy=task.strategy,
+    )
+    flow.step1_modeling()
+
+    # The disk cache can only exist after step 1: its namespace embeds the
+    # fitted-coefficients fingerprint so a refit can never serve stale
+    # estimates.  The fit is deterministic per device, so repeated sweeps
+    # land in the same namespace and hit.
+    disk: Optional[DiskEvaluationCache] = None
+    if cache_dir is not None:
+        disk = DiskEvaluationCache(
+            flow.auto_hls.estimate,
+            cache_dir,
+            device=device.name,
+            clock_mhz=flow.auto_hls.clock_mhz,
+            context=coefficients_fingerprint(flow.auto_hls.coefficients),
+            shard=task.name,
+        )
+        flow.attach_evaluation_cache(EvaluationCache(disk))
+
+    # Journal metadata excludes worker count and cache warmth on purpose:
+    # the journal of a task must be identical across execution modes.
+    session = SearchSession(
+        name=task.name,
+        metadata={
+            "device": device.name,
+            "strategy": task.strategy,
+            "fps": task.fps,
+            "tolerance_ms": task.tolerance_ms,
+            "iterations": task.iterations,
+            "num_candidates": task.num_candidates,
+            "top_bundles": task.top_bundles,
+            "seed": task.seed,
+        },
+    )
+    _, _, selected = flow.step2_bundle_selection()
+    candidates = flow.step3_search(selected, session=session)
+
+    best = AutoDNN.best_per_target(candidates, [target]).get(target)
+    gaps = [abs(c.latency_ms - target.latency_ms) for c in candidates]
+    memory_stats = flow.auto_dnn.cache.stats()
+    disk_stats = disk.stats() if disk is not None else None
+    return SweepOutcome(
+        task=task,
+        journal=to_jsonable(session.as_dict()),
+        selected_bundles=[b.bundle_id for b in selected],
+        num_candidates=len(candidates),
+        best_latency_ms=best.latency_ms if best is not None else None,
+        best_gap_ms=min(gaps) if gaps else None,
+        evaluations=len(session.records),
+        memory_hits=memory_stats.hits,
+        memory_misses=memory_stats.misses,
+        disk_hits=disk_stats.hits if disk_stats else 0,
+        disk_misses=disk_stats.misses if disk_stats else 0,
+        estimator_calls=disk_stats.misses if disk_stats else memory_stats.misses,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run` call."""
+
+    outcomes: list[SweepOutcome]
+    workers: int
+    cache_dir: Optional[str] = None
+    wall_time_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def estimator_calls(self) -> int:
+        return sum(outcome.estimator_calls for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        mode = f"{self.workers} process{'es' if self.workers != 1 else ''}"
+        lines = [
+            f"Sweep: {len(self.outcomes)} tasks on {mode}, "
+            f"{self.estimator_calls} estimator calls, {self.wall_time_s:.2f}s wall"
+        ]
+        lines.extend(f"  {outcome.summary()}" for outcome in self.outcomes)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "wall_time_s": self.wall_time_s,
+            "outcomes": [to_jsonable(outcome) for outcome in self.outcomes],
+        }
+
+    def save(self, path):
+        """Write the result (journals included) as deterministic JSON."""
+        return dump_json(self.as_dict(), path)
+
+
+class SweepRunner:
+    """Fan a sweep grid out across worker processes.
+
+    ``workers=1`` runs every task in-process (serial, easiest to debug);
+    ``workers>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    Results are collected in task order either way, and each task's journal
+    is independent of the execution mode, so the two are interchangeable.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SweepTask],
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if not tasks:
+            raise ValueError("At least one sweep task is required")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.tasks = list(tasks)
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    def run(self) -> SweepResult:
+        start = time.perf_counter()
+        if self.workers == 1 or len(self.tasks) == 1:
+            outcomes = [run_sweep_task(task, self.cache_dir) for task in self.tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(self.tasks))) as pool:
+                futures = [
+                    pool.submit(run_sweep_task, task, self.cache_dir) for task in self.tasks
+                ]
+                outcomes = [future.result() for future in futures]
+        wall = time.perf_counter() - start
+        logger.info("sweep finished: %d tasks in %.2fs", len(outcomes), wall)
+        return SweepResult(
+            outcomes=outcomes,
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            wall_time_s=wall,
+        )

@@ -11,7 +11,10 @@ from repro.core.constraints import LatencyTarget, ResourceConstraint
 from repro.core.dnn_config import DNNConfig
 from repro.core.scd import EXPANSION_FACTORS, SCDUnit
 from repro.detection.accuracy_model import SurrogateAccuracyModel
+from repro.hw.analytical import PerformanceEstimate
 from repro.hw.device import PYNQ_Z1
+from repro.hw.resource import ResourceVector
+from repro.search import config_cache_key
 
 
 @pytest.fixture(scope="module")
@@ -146,8 +149,48 @@ class TestSCD:
     def test_candidates_are_distinct(self, tiny_task_module):
         _, _, _, initial, scd = self._setup(tiny_task_module)
         result = scd.search(initial, num_candidates=3)
-        descriptions = [c.describe() for c in result.candidates]
-        assert len(descriptions) == len(set(descriptions))
+        keys = [config_cache_key(c) for c in result.candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_dedup_does_not_alias_same_describe_candidates(self, tiny_task_module):
+        """Regression: two in-band configs sharing a describe() string must
+        both be accepted — describe() summarises Pi/X as "maximum N channels"
+        and previously aliased distinct candidates."""
+        engine, target, constraint, initial, _ = self._setup(tiny_task_module)
+
+        # Every config is in band and feasible, so each iteration accepts the
+        # current config (if new) and perturbs it.
+        def constant_estimator(config):
+            return PerformanceEstimate(
+                latency_ms=target.latency_ms, resources=ResourceVector(lut=1.0)
+            )
+
+        class ScriptedRNG:
+            """Always picks the X move with direction -1 in _perturb."""
+
+            def integers(self, low, high):
+                return 2  # index of _move_x
+
+            def random(self):
+                return 0.9  # >= 0.5 -> direction -1 (insert a down-sample)
+
+        scd = SCDUnit(constant_estimator, target, constraint,
+                      max_iterations=10, rng=0)
+        scd.rng = ScriptedRNG()
+        start = initial.with_updates(downsample=(1, 0),
+                                     channel_expansion=(1.5, 1.5))
+        result = scd.search(start, num_candidates=2)
+
+        assert result.converged
+        assert len(result.candidates) == 2
+        a, b = result.candidates
+        # The two candidates alias under describe() but are distinct configs.
+        assert a.describe() == b.describe()
+        assert config_cache_key(a) != config_cache_key(b)
+        assert a.downsample != b.downsample
+        # With the aliasing bug the second acceptance was dropped, so the
+        # search burned its whole budget without converging.
+        assert result.iterations == 2
 
     def test_iteration_budget_respected(self, tiny_task_module):
         engine, target, constraint, initial, _ = self._setup(tiny_task_module)

@@ -38,6 +38,25 @@ class TestParetoFront:
         front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
         assert front == sorted(front, key=lambda p: p[0])
 
+    def test_cost_and_value_called_once_per_item(self):
+        # cost()/value() may be expensive; the dominance loop must work on
+        # precomputed values instead of re-invoking them O(n^2) times.
+        points = [(4.0, 4.0), (1.0, 1.0), (3.0, 5.0), (2.0, 1.0)]
+        calls = {"cost": 0, "value": 0}
+
+        def cost(p):
+            calls["cost"] += 1
+            return p[0]
+
+        def value(p):
+            calls["value"] += 1
+            return p[1]
+
+        front = pareto_front(points, cost=cost, value=value)
+        assert front == [(1.0, 1.0), (3.0, 5.0)]
+        assert calls["cost"] == len(points)
+        assert calls["value"] == len(points)
+
     @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=40))
     @settings(max_examples=60, deadline=None)
     def test_front_members_not_dominated(self, points):

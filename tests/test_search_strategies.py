@@ -135,6 +135,14 @@ class TestEvaluationCache:
         assert cache.evaluate(a).latency_ms != cache.evaluate(b).latency_ms
         assert cache.misses == 2
 
+    def test_key_distinguishes_tasks(self, initial):
+        # The input resolution changes every latency; configs differing only
+        # in task must never share a slot (the disk cache outlives a search).
+        from repro.detection.task import DAC_SDC_TASK
+
+        other = initial.with_updates(task=DAC_SDC_TASK)
+        assert config_cache_key(initial) != config_cache_key(other)
+
     def test_batch_deduplicates(self, engine, initial):
         counting = CountingEstimator(engine.estimate)
         cache = EvaluationCache(counting)
@@ -187,8 +195,8 @@ class TestStrategies:
         for config, estimate in zip(result.candidates, result.estimates):
             assert target.within_band(estimate.latency_ms)
             assert constraint.satisfied_by(estimate.resources)
-        descriptions = [c.describe() for c in result.candidates]
-        assert len(descriptions) == len(set(descriptions))
+        keys = [config_cache_key(c) for c in result.candidates]
+        assert len(keys) == len(set(keys))
 
     @pytest.mark.parametrize("strategy", STRATEGIES)
     def test_same_seed_single_worker_is_deterministic(self, strategy, engine,
@@ -230,6 +238,55 @@ class TestStrategies:
         explorer = make_explorer("random", engine, target, constraint)
         with pytest.raises(ValueError):
             explorer.explore(initial, num_candidates=0)
+
+    def test_annealing_zero_tolerance_band_does_not_divide_by_zero(
+            self, engine, constraint, initial):
+        """Regression: the default initial temperature is 4 * tolerance_ms,
+        which is 0 for a zero-tolerance band and crashed the Metropolis step
+        with a ZeroDivisionError; it must clamp to min_temperature."""
+
+        class ZeroToleranceTarget:
+            latency_ms = engine.estimate(initial).latency_ms
+            tolerance_ms = 0.0
+
+            def within_band(self, latency_ms):
+                return abs(latency_ms - self.latency_ms) < self.tolerance_ms
+
+        explorer = make_explorer("annealing", engine, ZeroToleranceTarget(),
+                                 constraint, rng=3, max_iterations=25)
+        result = explorer.explore(initial, num_candidates=1)
+        assert not result.converged  # a zero-width band is unreachable
+        assert result.evaluations <= 25
+
+    def test_annealing_explicit_zero_temperature_clamped(self, engine, target,
+                                                         constraint, initial):
+        explorer = make_explorer("annealing", engine, target, constraint,
+                                 rng=3, max_iterations=25,
+                                 initial_temperature=0.0)
+        result = explorer.explore(initial, num_candidates=1)
+        assert result.evaluations <= 25
+
+    def test_annealing_rejects_non_positive_min_temperature(self, engine, target,
+                                                            constraint):
+        with pytest.raises(ValueError, match="min_temperature"):
+            make_explorer("annealing", engine, target, constraint,
+                          min_temperature=0.0)
+
+    def test_consider_does_not_alias_same_describe_candidates(
+            self, engine, target, constraint, initial):
+        """Regression: Explorer.consider dedup must use the structural cache
+        key, not describe(), or distinct Pi/X candidates are dropped."""
+        explorer = make_explorer("random", engine, target, constraint)
+        a = initial.with_updates(num_repetitions=3, channel_expansion=(1.2,) * 3,
+                                 downsample=(1, 1, 0))
+        b = a.with_updates(downsample=(1, 0, 1))
+        assert a.describe() == b.describe()
+        in_band = LatencyTarget(fps=1000.0 / engine.estimate(a).latency_ms,
+                                tolerance_ms=1000.0)
+        explorer.latency_target = in_band
+        assert explorer.consider(a, engine.estimate(a))
+        assert explorer.consider(b, engine.estimate(b))
+        assert not explorer.consider(a, engine.estimate(a))
 
     def test_evaluation_budget_respected(self, engine, target, constraint, initial):
         explorer = make_explorer("annealing", engine, target, constraint,

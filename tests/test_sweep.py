@@ -1,0 +1,415 @@
+"""Tests for the process-based sweep engine (:mod:`repro.sweep`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.auto_hls import AutoHLS
+from repro.core.bundle_generation import get_bundle
+from repro.core.dnn_config import DNNConfig
+from repro.detection.task import TINY_DETECTION_TASK
+from repro.hw.device import PYNQ_Z1, resolve_devices
+from repro.search import EvaluationCache
+from repro.sweep import (
+    DiskEvaluationCache,
+    SweepOutcome,
+    SweepRunner,
+    SweepTask,
+    build_grid,
+    coefficients_fingerprint,
+    compare,
+    run_sweep_task,
+)
+
+#: Shared tiny sweep budget: every task completes in well under a second.
+TINY = dict(tolerance_ms=10.0, iterations=25, num_candidates=1, top_bundles=2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AutoHLS(PYNQ_Z1)
+
+
+@pytest.fixture(scope="module")
+def initial():
+    return DNNConfig(bundle=get_bundle(13), task=TINY_DETECTION_TASK, num_repetitions=2,
+                     channel_expansion=(1.5, 1.5), downsample=(1, 1),
+                     stem_channels=16, parallel_factor=16, max_channels=128)
+
+
+class CountingEstimator:
+    def __init__(self, estimator):
+        self.estimator = estimator
+        self.calls = 0
+
+    def __call__(self, config):
+        self.calls += 1
+        return self.estimator(config)
+
+
+def journal_views(outcomes):
+    """The execution-mode-independent portion of each outcome."""
+    return [
+        (o.journal, o.selected_bundles, o.num_candidates, o.best_latency_ms,
+         o.best_gap_ms, o.evaluations)
+        for o in outcomes
+    ]
+
+
+# -------------------------------------------------------------- device lookup
+class TestResolveDevices:
+    def test_comma_separated_spec(self):
+        devices = resolve_devices("pynq-z1,ultra96")
+        assert [d.name for d in devices] == ["PYNQ-Z1", "Ultra96"]
+
+    def test_sequence_spec_preserves_order_and_dedupes(self):
+        devices = resolve_devices(["ultra96", "PYNQ-Z1", "ultra96"])
+        assert [d.name for d in devices] == ["Ultra96", "PYNQ-Z1"]
+
+    def test_all_keyword(self):
+        assert {d.name for d in resolve_devices("all")} == {"PYNQ-Z1", "Ultra96", "ZC706"}
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="virtex"):
+            resolve_devices("virtex")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError):
+            resolve_devices(" , ")
+
+
+# ----------------------------------------------------------------------- grid
+class TestBuildGrid:
+    def test_grid_is_full_cross_product_in_order(self):
+        tasks = build_grid("pynq-z1,ultra96", "scd,random", [20.0, 30.0], **TINY)
+        assert len(tasks) == 8
+        assert [(t.device, t.strategy, t.fps) for t in tasks[:4]] == [
+            ("PYNQ-Z1", "scd", 20.0), ("PYNQ-Z1", "scd", 30.0),
+            ("PYNQ-Z1", "random", 20.0), ("PYNQ-Z1", "random", 30.0),
+        ]
+        assert all(t.device == "Ultra96" for t in tasks[4:])
+
+    def test_task_name(self):
+        task = build_grid("pynq-z1", ["scd"], [40.0], **TINY)[0]
+        assert task.name == "PYNQ-Z1-scd-40fps"
+
+    def test_shared_budget_applied(self):
+        task = build_grid("pynq-z1", "scd", [40.0], **TINY)[0]
+        assert task.iterations == 25 and task.num_candidates == 1 and task.seed == 1
+
+    def test_duplicate_axes_deduplicated(self):
+        # Duplicate cells would run twice and share a disk-cache shard.
+        tasks = build_grid("pynq-z1,pynq-z1", "scd,scd", [40.0, 40.0], **TINY)
+        assert len(tasks) == 1
+        names = [t.name for t in build_grid("pynq-z1", "scd,random,scd", [40, 40.0], **TINY)]
+        assert names == ["PYNQ-Z1-scd-40fps", "PYNQ-Z1-random-40fps"]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="annealing"):
+            build_grid("pynq-z1", "gradient-descent", [40.0])
+
+    def test_empty_strategies_or_targets(self):
+        with pytest.raises(ValueError):
+            build_grid("pynq-z1", " , ", [40.0])
+        with pytest.raises(ValueError):
+            build_grid("pynq-z1", "scd", [])
+
+    def test_budget_validated_before_workers_spawn(self):
+        with pytest.raises(ValueError, match="tolerance_ms"):
+            build_grid("pynq-z1", "scd", [40.0], tolerance_ms=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            build_grid("pynq-z1", "scd", [-40.0])
+        with pytest.raises(ValueError, match="positive"):
+            build_grid("pynq-z1", "scd", [40.0], iterations=0)
+
+
+# ----------------------------------------------------------------- disk cache
+class TestDiskEvaluationCache:
+    def test_persists_across_instances(self, tmp_path, engine, initial):
+        counting = CountingEstimator(engine.estimate)
+        first = DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1")
+        estimate = first.evaluate(initial)
+        assert counting.calls == 1 and first.misses == 1
+
+        reloaded = DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1")
+        again = reloaded.evaluate(initial)
+        assert counting.calls == 1, "reload must serve from disk"
+        assert reloaded.hits == 1 and reloaded.misses == 0
+        assert again.latency_ms == estimate.latency_ms
+        assert again.resources == estimate.resources
+        assert initial in reloaded
+
+    def test_namespace_separates_device_clock_and_context(self, tmp_path, engine, initial):
+        counting = CountingEstimator(engine.estimate)
+        DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1").evaluate(initial)
+        for kwargs in (
+            {"device": "Ultra96"},
+            {"device": "PYNQ-Z1", "clock_mhz": 150.0},
+            {"device": "PYNQ-Z1", "context": "fit-abc"},
+        ):
+            cache = DiskEvaluationCache(counting, tmp_path, shard=str(kwargs), **kwargs)
+            assert len(cache) == 0, f"namespace {kwargs} must not see other entries"
+            cache.evaluate(initial)
+        assert counting.calls == 4
+
+    def test_layered_under_memory_cache(self, tmp_path, engine, initial):
+        counting = CountingEstimator(engine.estimate)
+        disk = DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1")
+        memory = EvaluationCache(disk)
+        for _ in range(3):
+            memory.evaluate(initial)
+        # The memory layer absorbs the repeats; disk sees exactly one request.
+        assert memory.hits == 2 and memory.misses == 1
+        assert disk.misses == 1 and disk.hits == 0 and counting.calls == 1
+
+        warm = EvaluationCache(DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1"))
+        warm.evaluate(initial)
+        assert counting.calls == 1, "warm stack must not re-invoke the estimator"
+
+    def test_shards_of_same_namespace_share_entries(self, tmp_path, engine, initial):
+        # Two writers (sweep tasks) of one namespace use distinct shard
+        # files but see each other's results on reload.
+        counting = CountingEstimator(engine.estimate)
+        DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1",
+                            shard="task-a").evaluate(initial)
+        other = DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1",
+                                    shard="task-b")
+        assert other.evaluate(initial)
+        assert counting.calls == 1
+        assert len(list(tmp_path.glob("*.jsonl"))) == 1, "no second shard written"
+
+    def test_tolerates_torn_and_foreign_lines(self, tmp_path, engine, initial):
+        counting = CountingEstimator(engine.estimate)
+        DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1").evaluate(initial)
+        shard = next(tmp_path.glob("*.jsonl"))
+        with shard.open("a") as handle:
+            handle.write('{"torn": ')  # interrupted write
+        reloaded = DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1")
+        assert reloaded.evaluate(initial)
+        assert counting.calls == 1
+
+    def test_fingerprint_stable_and_sensitive(self, engine):
+        base = engine.coefficients
+        assert coefficients_fingerprint(base) == coefficients_fingerprint(base)
+        changed = base.with_updates(alpha=base.alpha * 2)
+        assert coefficients_fingerprint(base) != coefficients_fingerprint(changed)
+
+
+# --------------------------------------------------------------------- worker
+class TestRunSweepTask:
+    def test_cold_runs_are_deterministic(self, tmp_path):
+        task = build_grid("pynq-z1", "random", [40.0], **TINY)[0]
+        a = run_sweep_task(task, str(tmp_path / "a"))
+        b = run_sweep_task(task, str(tmp_path / "b"))
+        assert journal_views([a]) == journal_views([b])
+        assert a.journal["records"], "journal must contain evaluations"
+        assert a.journal["metadata"]["device"] == "PYNQ-Z1"
+
+    def test_without_cache_dir(self):
+        task = build_grid("pynq-z1", "scd", [40.0], **TINY)[0]
+        outcome = run_sweep_task(task)
+        assert outcome.disk_hits == 0 and outcome.disk_misses == 0
+        assert outcome.estimator_calls == outcome.memory_misses > 0
+
+    def test_outcome_is_jsonable(self, tmp_path):
+        from repro.utils.serialization import to_jsonable
+
+        task = build_grid("pynq-z1", "scd", [40.0], **TINY)[0]
+        outcome = run_sweep_task(task, str(tmp_path))
+        json.dumps(to_jsonable(outcome))
+
+
+# --------------------------------------------------------------------- runner
+class TestSweepRunner:
+    def test_process_pool_matches_serial_journals(self, tmp_path):
+        tasks = build_grid("pynq-z1,ultra96", "scd,random", [40.0], **TINY)
+        serial = SweepRunner(tasks, workers=1, cache_dir=tmp_path / "serial").run()
+        pooled = SweepRunner(tasks, workers=2, cache_dir=tmp_path / "pooled").run()
+        assert journal_views(serial.outcomes) == journal_views(pooled.outcomes)
+        assert [o.task for o in pooled.outcomes] == tasks, "task order preserved"
+        assert pooled.workers == 2 and len(pooled) == len(tasks)
+
+    def test_warm_disk_cache_skips_every_estimator_call(self, tmp_path):
+        tasks = build_grid("pynq-z1", "scd,random", [40.0], **TINY)
+        cold = SweepRunner(tasks, workers=1, cache_dir=tmp_path).run()
+        warm = SweepRunner(tasks, workers=1, cache_dir=tmp_path).run()
+        assert journal_views(cold.outcomes) == journal_views(warm.outcomes)
+        for outcome in warm.outcomes:
+            assert outcome.disk_hit_rate == 1.0
+            assert outcome.estimator_calls == 0
+        assert cold.estimator_calls > 0
+        assert warm.estimator_calls < cold.estimator_calls
+
+    def test_result_save_round_trip(self, tmp_path):
+        tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
+        result = SweepRunner(tasks, workers=1).run()
+        path = result.save(tmp_path / "sweep.json")
+        payload = json.loads(path.read_text())
+        assert payload["workers"] == 1
+        assert len(payload["outcomes"]) == 1
+        assert payload["outcomes"][0]["journal"]["records"]
+
+    def test_invalid_arguments(self):
+        tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
+        with pytest.raises(ValueError):
+            SweepRunner([], workers=1)
+        with pytest.raises(ValueError):
+            SweepRunner(tasks, workers=0)
+
+
+# -------------------------------------------------------- CoDesignFlow wiring
+class TestCoDesignFlowCacheWiring:
+    def _flow(self, **kwargs):
+        from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
+
+        inputs = CoDesignInputs(
+            task=TINY_DETECTION_TASK, device=PYNQ_Z1,
+            latency_targets=(LatencyTarget(fps=120.0, tolerance_ms=2.0),),
+        )
+        return CoDesignFlow(inputs, top_n_bundles=2, scd_iterations=20, **kwargs)
+
+    def test_evaluation_cache_constructor_kwarg(self, engine):
+        shared = EvaluationCache(engine.estimate)
+        flow = self._flow(evaluation_cache=shared)
+        assert flow.auto_dnn.cache is shared
+
+    def test_attach_evaluation_cache_drops_stale_worker_pool(self, engine):
+        flow = self._flow()
+        stale_pool = flow.auto_dnn._parallel_for(2)
+        assert flow.auto_dnn._parallel is stale_pool
+        flow.attach_evaluation_cache(EvaluationCache(engine.estimate))
+        # A kept pool would keep batching through the old cache's estimator,
+        # silently bypassing the newly attached (e.g. disk-backed) cache.
+        assert flow.auto_dnn._parallel is None
+
+
+# -------------------------------------------------------------------- compare
+def _outcome(device, strategy, fps, *, records, cached, candidates, gap,
+             disk=(0, 0), calls=10, duration=0.5):
+    return SweepOutcome(
+        task=SweepTask(device=device, strategy=strategy, fps=fps, **TINY),
+        journal={
+            "records": [{"cached": i < cached} for i in range(records)],
+            "candidates": [{"index": i} for i in range(candidates)],
+        },
+        selected_bundles=[13],
+        num_candidates=candidates,
+        best_latency_ms=None if gap is None else 1000.0 / fps + gap,
+        best_gap_ms=gap,
+        evaluations=records,
+        memory_hits=cached,
+        memory_misses=records - cached,
+        disk_hits=disk[0],
+        disk_misses=disk[1],
+        estimator_calls=calls,
+        duration_s=duration,
+    )
+
+
+class TestCompare:
+    def fixed_outcomes(self):
+        return [
+            _outcome("PYNQ-Z1", "scd", 20.0, records=40, cached=10, candidates=2,
+                     gap=1.25, disk=(30, 10), calls=10, duration=0.25),
+            _outcome("PYNQ-Z1", "random", 20.0, records=60, cached=30, candidates=3,
+                     gap=0.75, disk=(50, 10), calls=10, duration=0.5),
+            _outcome("Ultra96", "scd", 20.0, records=20, cached=5, candidates=1,
+                     gap=0.5, disk=(0, 20), calls=20, duration=0.25),
+            _outcome("Ultra96", "random", 20.0, records=30, cached=15, candidates=0,
+                     gap=None, disk=(0, 30), calls=30, duration=0.5),
+        ]
+
+    def test_report_golden_text(self):
+        report = compare(self.fixed_outcomes())
+        assert report.render() == GOLDEN_REPORT
+
+    def test_strategy_rows_are_journal_driven(self):
+        report = compare(self.fixed_outcomes())
+        random_row = next(s for s in report.strategies if s.strategy == "random")
+        assert random_row.evaluations == 90       # 60 + 30 journal records
+        assert random_row.cached_evaluations == 45
+        assert random_row.candidates == 3
+        assert random_row.cache_hit_rate == 0.5
+        assert random_row.disk_hit_rate == pytest.approx(50 / 90)
+
+    def test_winner_picks_smallest_gap_and_skips_empty(self):
+        report = compare(self.fixed_outcomes())
+        winners = {w.device: w for w in report.winners}
+        assert winners["PYNQ-Z1"].strategy == "random"     # 0.75 < 1.25
+        assert winners["Ultra96"].strategy == "scd"        # None ranks last
+        assert winners["Ultra96"].best_gap_ms == 0.5
+
+    def test_as_dict_round_trips_through_json(self):
+        report = compare(self.fixed_outcomes())
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert {"strategies", "winners", "totals"} <= set(payload)
+        assert payload["totals"]["tasks"] == 4
+        assert payload["totals"]["evaluations"] == 150
+
+    def test_accepts_sweep_result(self, tmp_path):
+        tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
+        result = SweepRunner(tasks, workers=1).run()
+        report = compare(result)
+        assert report.totals["tasks"] == 1
+
+    def test_empty_outcomes_rejected(self):
+        with pytest.raises(ValueError):
+            compare([])
+
+
+GOLDEN_REPORT = """\
+Per-strategy comparison
+strategy | tasks | evals | cache hit | cands | best gap (ms) | est. calls | disk hit | wall (s)
+---------+-------+-------+-----------+-------+---------------+------------+----------+---------
+random   | 2     | 90    | 50.0%     | 3     | 0.75          | 40         | 55.6%    | 1.00
+scd      | 2     | 60    | 25.0%     | 3     | 0.50          | 30         | 50.0%    | 0.50
+
+Per-device winners
+device  | target | winner | best gap (ms) | cands
+--------+--------+--------+---------------+------
+PYNQ-Z1 | 20 FPS | random | 0.75          | 3
+Ultra96 | 20 FPS | scd    | 0.50          | 1
+
+Totals: 4 tasks, 150 evaluations, 6 candidates, 70 estimator calls"""
+
+
+# ------------------------------------------------------------------------ CLI
+class TestSweepCLI:
+    def test_sweep_command_cold_then_warm(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        report = tmp_path / "report.json"
+        argv = [
+            "sweep", "--devices", "pynq-z1,ultra96", "--strategies", "scd,random",
+            "--fps", "40", "--tolerance-ms", "10", "--top-bundles", "2",
+            "--candidates", "1", "--iterations", "25", "--seed", "1",
+            "--workers", "2", "--cache-dir", str(cache_dir),
+            "--report", str(report),
+        ]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert "Sweep: 4 tasks on 2 processes" in cold_out
+        assert "Per-strategy comparison" in cold_out
+        payload = json.loads(report.read_text())
+        assert {"sweep", "comparison"} <= set(payload)
+        assert len(payload["sweep"]["outcomes"]) == 4
+
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert "disk cache 100% hit rate" in warm_out
+        assert "0 estimator calls" in warm_out
+
+    def test_sweep_command_rejects_unknown_strategy(self):
+        from repro.cli import main
+
+        with pytest.raises(ValueError, match="Unknown search strategy"):
+            main(["sweep", "--strategies", "bogus", "--fps", "40"])
+
+    def test_sweep_command_rejects_unknown_device(self):
+        from repro.cli import main
+
+        with pytest.raises(KeyError, match="Unknown device"):
+            main(["sweep", "--devices", "bogus", "--fps", "40"])
