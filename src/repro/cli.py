@@ -15,7 +15,13 @@ Fan a device x strategy x latency-target sweep out across worker processes
 with a persistent evaluation cache and a comparison report::
 
     repro-codesign sweep --devices pynq-z1,ultra96 --strategies scd,random \
-        --workers 4 --cache-dir .sweep-cache --report sweep.json
+        --workers 4 --cache-dir .sweep-cache --report sweep.json \
+        --timeout-s 300 --retries 1
+
+Inspect or garbage-collect a persistent sweep cache::
+
+    repro-codesign cache stats --cache-dir .sweep-cache
+    repro-codesign cache gc --cache-dir .sweep-cache --max-age-days 30 --max-size-mb 64
 
 Regenerate a specific paper artefact::
 
@@ -83,11 +89,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help=f"comma-separated strategies ({', '.join(available_strategies())})")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--clocks", type=float, nargs="+", default=None,
+                       help="accelerator clock axis in MHz (default: device default clock)")
+    sweep.add_argument("--utilizations", type=float, nargs="+", default=[1.0],
+                       help="resource-utilization-limit axis, each in (0, 1]")
+    sweep.add_argument("--schedule", choices=["steal", "chunked"], default="steal",
+                       help="cell dispatch: cost-ordered work-stealing or static chunks")
+    sweep.add_argument("--timeout-s", type=float, default=None,
+                       help="per-cell wall-clock timeout (work-stealing schedule only)")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retries per failed/timed-out cell before recording a failure")
+    sweep.add_argument("--per-cell-prep", action="store_true",
+                       help="re-run model fit + bundle selection in every cell "
+                            "(default: prepared once per device and shared)")
     sweep.add_argument("--cache-dir", default=None,
                        help="persistent evaluation-cache directory (JSON-lines shards)")
     sweep.add_argument("--report", default=None,
                        help="write the comparison report JSON to this path")
     _add_budget_args(sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or compact a persistent sweep evaluation-cache directory"
+    )
+    cache.add_argument("action", choices=["stats", "gc"],
+                       help="stats: summarise the directory; gc: compact and evict")
+    cache.add_argument("--cache-dir", required=True, help="cache directory to operate on")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="gc: evict entries older than this many days")
+    cache.add_argument("--max-size-mb", type=float, default=None,
+                       help="gc: evict oldest entries until the directory fits this budget")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("name", choices=["fig4", "fig5", "fig6", "table2", "ablations"],
@@ -180,17 +210,63 @@ def _run_sweep(args: argparse.Namespace) -> int:
         num_candidates=args.candidates,
         top_bundles=args.top_bundles,
         seed=args.seed,
+        clocks_mhz=args.clocks,
+        utilizations=args.utilizations,
     )
-    runner = SweepRunner(tasks, workers=args.workers, cache_dir=args.cache_dir)
+    runner = SweepRunner(
+        tasks,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        schedule=args.schedule,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        share_preparation=not args.per_cell_prep,
+    )
     result = runner.run()
-    comparison = compare(result)
+    comparison = compare(result) if result.outcomes else None
     print(result.summary())
     print()
-    print(comparison.render())
+    if comparison is not None:
+        print(comparison.render())
+    else:
+        print("No surviving cells to compare.")
     if args.report:
-        payload = {"sweep": result.as_dict(), "comparison": comparison.as_dict()}
+        payload = {"sweep": result.as_dict()}
+        if comparison is not None:
+            payload["comparison"] = comparison.as_dict()
         path = dump_json(payload, args.report)
         print(f"Report written to {path}")
+    return 0 if result.ok else 1
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    from repro.sweep import cache_dir_stats, compact_cache_dir
+    from repro.utils.tables import render_table
+
+    if args.action == "gc":
+        report = compact_cache_dir(
+            args.cache_dir,
+            max_age_days=args.max_age_days,
+            max_size_mb=args.max_size_mb,
+        )
+        print(report.summary())
+        return 0
+    stats = cache_dir_stats(args.cache_dir)
+    rows = [
+        [ns.namespace, ns.entries, ns.shards, ns.bytes]
+        for ns in stats.namespaces
+    ]
+    print(render_table(
+        ["namespace", "entries", "shards", "bytes"], rows,
+        title=f"Cache directory {stats.directory}",
+    ))
+    print(
+        f"Totals: {stats.entries} entries in {stats.total_shards} shards, "
+        f"{stats.total_bytes} bytes, {stats.corrupt_lines} corrupt lines, "
+        f"{stats.duplicates} duplicates"
+    )
+    if stats.corrupt_lines or stats.duplicates:
+        print("Hint: run 'repro-codesign cache gc --cache-dir ...' to repair and compact.")
     return 0
 
 
@@ -263,6 +339,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_search(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "experiment":
         return _run_experiment(args.name)
     if args.command == "codegen":

@@ -112,6 +112,7 @@ class CoDesignFlow:
         search_strategy: str = "scd",
         search_workers: int = 1,
         evaluation_cache: Optional[EvaluationCache] = None,
+        clock_mhz: Optional[float] = None,
     ) -> None:
         self.inputs = inputs
         self.accuracy_model = accuracy_model or SurrogateAccuracyModel()
@@ -121,8 +122,11 @@ class CoDesignFlow:
         self.rng = rng
         self.search_strategy = search_strategy
         self.search_workers = search_workers
+        if clock_mhz is not None:
+            clock_mhz = inputs.device.validate_clock(clock_mhz)
+        self.clock_mhz = clock_mhz or inputs.device.default_clock_mhz
 
-        self.auto_hls = AutoHLS(inputs.device)
+        self.auto_hls = AutoHLS(inputs.device, clock_mhz=self.clock_mhz)
         self.evaluator = BundleEvaluator(
             task=inputs.task,
             device=inputs.device,

@@ -73,6 +73,24 @@ class FPGADevice:
         """Total on-chip BRAM capacity in bits (18Kb per block)."""
         return self.resources.bram * 18 * 1024
 
+    def validate_clock(self, clock_mhz: float) -> float:
+        """Validate an accelerator clock against this device's range.
+
+        Returns the clock as a float; raises :class:`ValueError` when it is
+        non-positive or above :attr:`max_clock_mhz`.  Used by the sweep
+        grid builder so an unsupported clock axis fails before any worker
+        is spawned.
+        """
+        clock = float(clock_mhz)
+        if clock <= 0:
+            raise ValueError(f"clock must be positive, got {clock:g} MHz")
+        if clock > self.max_clock_mhz:
+            raise ValueError(
+                f"{self.name} supports at most {self.max_clock_mhz:g} MHz, "
+                f"got {clock:g} MHz"
+            )
+        return clock
+
     def cycle_time_ns(self, clock_mhz: float | None = None) -> float:
         """Clock period in nanoseconds."""
         clock = self.default_clock_mhz if clock_mhz is None else clock_mhz

@@ -1,15 +1,22 @@
-"""Process-based multi-device sweep engine with a persistent cache.
+"""Process-based multi-device sweep engine with resilient scheduling.
 
 The sweep subsystem scales the co-design search along the axes the paper
 leaves open — "devices with more resources", alternative exploration
-strategies and several latency targets at once:
+strategies, several latency targets, clock frequencies and utilization
+limits at once:
 
-* :mod:`repro.sweep.runner` — :func:`build_grid` /
-  :class:`SweepRunner`: fan a (device x strategy x latency-target) grid out
-  across worker processes, one archivable journal per task,
+* :mod:`repro.sweep.runner` — :func:`build_grid` / :class:`SweepRunner`:
+  fan a (device x clock x utilization x strategy x latency-target) grid out
+  across worker processes under a two-phase schedule: per-device
+  preparation (model fit + bundle selection, once per device, shipped as a
+  :class:`PreparedDevice`) followed by cost-ordered work-stealing execution
+  with per-task timeout, bounded retry and structured
+  :class:`SweepFailure` records — one archivable journal per task,
 * :mod:`repro.sweep.disk_cache` — :class:`DiskEvaluationCache`: JSON-lines
   estimator memoization that persists across processes and runs, layered
-  under the in-memory :class:`~repro.search.cache.EvaluationCache`,
+  under the in-memory :class:`~repro.search.cache.EvaluationCache`, with
+  :func:`compact_cache_dir` compaction / GC (dedup, corrupt-line repair,
+  age and size eviction),
 * :mod:`repro.sweep.compare` — :func:`compare`: journal-driven
   cross-strategy / cross-device report (text and JSON).
 
@@ -18,31 +25,53 @@ Quickstart::
     from repro.sweep import SweepRunner, build_grid, compare
 
     tasks = build_grid("pynq-z1,ultra96", "scd,random", [20.0, 30.0])
-    result = SweepRunner(tasks, workers=4, cache_dir=".sweep-cache").run()
-    print(result.summary())
+    result = SweepRunner(tasks, workers=4, cache_dir=".sweep-cache",
+                         timeout_s=300.0, retries=1).run()
+    print(result.summary())          # includes any failed cells
     print(compare(result).render())
 """
 
 from repro.sweep.compare import DeviceWinner, StrategySummary, SweepComparison, compare
-from repro.sweep.disk_cache import DiskEvaluationCache, coefficients_fingerprint
+from repro.sweep.disk_cache import (
+    CacheDirStats,
+    CompactionReport,
+    DiskEvaluationCache,
+    NamespaceStats,
+    cache_dir_stats,
+    coefficients_fingerprint,
+    compact_cache_dir,
+)
 from repro.sweep.runner import (
+    PreparedDevice,
+    SweepFailure,
     SweepOutcome,
     SweepResult,
     SweepRunner,
     SweepTask,
     build_grid,
+    expected_cost,
+    prepare_device,
     run_sweep_task,
 )
 
 __all__ = [
     "SweepTask",
     "SweepOutcome",
+    "SweepFailure",
     "SweepResult",
     "SweepRunner",
+    "PreparedDevice",
     "build_grid",
+    "expected_cost",
+    "prepare_device",
     "run_sweep_task",
     "DiskEvaluationCache",
+    "CacheDirStats",
+    "NamespaceStats",
+    "CompactionReport",
+    "cache_dir_stats",
     "coefficients_fingerprint",
+    "compact_cache_dir",
     "SweepComparison",
     "StrategySummary",
     "DeviceWinner",

@@ -140,6 +140,10 @@ class SweepComparison:
                 f"{self.totals['evaluations']} evaluations, "
                 f"{self.totals['candidates']} candidates, "
                 f"{self.totals['estimator_calls']} estimator calls"
+                + (
+                    f", {self.totals['failed_tasks']} failed cells"
+                    if self.totals.get("failed_tasks") else ""
+                )
             ),
         ]
         text = "\n\n".join(blocks)
@@ -157,12 +161,18 @@ def _journal_counts(outcome: SweepOutcome) -> tuple[int, int, int]:
 
 
 def compare(outcomes: Sequence[SweepOutcome] | SweepResult) -> SweepComparison:
-    """Build the cross-strategy / cross-device comparison report."""
+    """Build the cross-strategy / cross-device comparison report.
+
+    Accepts a :class:`SweepResult` (failed cells are excluded from the
+    statistics but counted in the totals) or a plain outcome sequence.
+    """
+    failed = 0
     if isinstance(outcomes, SweepResult):
+        failed = len(outcomes.failures)
         outcomes = outcomes.outcomes
     outcomes = list(outcomes)
     if not outcomes:
-        raise ValueError("At least one sweep outcome is required")
+        raise ValueError("At least one surviving sweep outcome is required")
 
     # One journal scan per outcome; the loops below only index this.
     counts_by_outcome = {id(outcome): _journal_counts(outcome) for outcome in outcomes}
@@ -208,6 +218,7 @@ def compare(outcomes: Sequence[SweepOutcome] | SweepResult) -> SweepComparison:
 
     totals = {
         "tasks": len(outcomes),
+        "failed_tasks": failed,
         "evaluations": sum(s.evaluations for s in strategies),
         "candidates": sum(s.candidates for s in strategies),
         "estimator_calls": sum(s.estimator_calls for s in strategies),

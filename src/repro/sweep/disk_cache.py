@@ -30,9 +30,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 import re
 import threading
+import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.hw.analytical import PerformanceEstimate
@@ -155,6 +158,7 @@ class DiskEvaluationCache:
                 lines = path.read_text().splitlines()
             except OSError:  # pragma: no cover - unreadable shard
                 continue
+            corrupt = 0
             for line in lines:
                 line = line.strip()
                 if not line:
@@ -162,14 +166,21 @@ class DiskEvaluationCache:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:  # torn write: skip the line
+                    corrupt += 1
                     continue
-                if record.get("namespace") != self.namespace:
+                if not isinstance(record, dict) or record.get("namespace") != self.namespace:
                     continue
                 estimate = _estimate_from_payload(record.get("estimate", {}))
                 key = record.get("key")
                 if estimate is not None and isinstance(key, str):
                     self._store[key] = estimate
                     loaded += 1
+            if corrupt:
+                logger.warning(
+                    "disk cache shard %s: skipped %d corrupt line(s); "
+                    "run 'repro-codesign cache gc' to repair it",
+                    path.name, corrupt,
+                )
         if loaded:
             logger.debug("disk cache loaded %d entries for %s", loaded, self.namespace)
 
@@ -178,6 +189,7 @@ class DiskEvaluationCache:
             "namespace": self.namespace,
             "key": key,
             "estimate": _estimate_payload(estimate),
+            "ts": round(time.time(), 3),
         }
         with self.shard_path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -224,3 +236,230 @@ class DiskEvaluationCache:
 
     def __contains__(self, config: "DNNConfig") -> bool:
         return self.key_fn(config) in self._store
+
+
+# --------------------------------------------------------- compaction and GC
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :func:`compact_cache_dir` pass did to a cache directory."""
+
+    shards_before: int
+    shards_after: int
+    entries_before: int
+    entries_kept: int
+    duplicates_dropped: int
+    corrupt_lines_dropped: int
+    evicted_by_age: int
+    evicted_by_size: int
+    bytes_before: int
+    bytes_after: int
+
+    def summary(self) -> str:
+        return (
+            f"compaction: {self.shards_before} -> {self.shards_after} shards, "
+            f"{self.entries_before} -> {self.entries_kept} entries "
+            f"({self.duplicates_dropped} duplicates, "
+            f"{self.corrupt_lines_dropped} corrupt lines, "
+            f"{self.evicted_by_age} age-evicted, {self.evicted_by_size} size-evicted), "
+            f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )
+
+
+@dataclass(frozen=True)
+class NamespaceStats:
+    """Per-namespace view of one cache directory."""
+
+    namespace: str
+    entries: int
+    shards: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class CacheDirStats:
+    """Aggregate view of one cache directory (see :func:`cache_dir_stats`).
+
+    Corrupt lines and duplicates are directory-level counts: a torn line
+    cannot be attributed to a namespace because it does not parse.
+    """
+
+    directory: str
+    namespaces: list[NamespaceStats] = field(default_factory=list)
+    corrupt_lines: int = 0
+    duplicates: int = 0
+    total_shards: int = 0
+    total_bytes: int = 0
+
+    @property
+    def entries(self) -> int:
+        return sum(ns.entries for ns in self.namespaces)
+
+
+def _scan_cache_dir(directory: pathlib.Path):
+    """Parse every shard; returns (records, corrupt, duplicates, bytes, shards).
+
+    ``records`` maps ``(namespace, key)`` to the newest valid record line
+    (dict).  Records missing a timestamp inherit their shard's mtime, so
+    pre-timestamp caches still age-evict sensibly.
+    """
+    records: dict[tuple[str, str], dict] = {}
+    corrupt = 0
+    duplicates = 0
+    total_bytes = 0
+    shard_paths = sorted(directory.glob("*.jsonl"))
+    for path in shard_paths:
+        try:
+            mtime = path.stat().st_mtime
+            text = path.read_text()
+        except OSError:  # pragma: no cover - unreadable shard
+            continue
+        total_bytes += len(text.encode("utf-8"))
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt += 1
+                continue
+            namespace = record.get("namespace") if isinstance(record, dict) else None
+            key = record.get("key") if isinstance(record, dict) else None
+            estimate = _estimate_from_payload(record.get("estimate", {})) \
+                if isinstance(record, dict) else None
+            if not isinstance(namespace, str) or not isinstance(key, str) \
+                    or estimate is None:
+                corrupt += 1
+                continue
+            if not isinstance(record.get("ts"), (int, float)):
+                record["ts"] = round(mtime, 3)
+            slot = (namespace, key)
+            if slot in records:
+                duplicates += 1
+                if record["ts"] >= records[slot]["ts"]:
+                    records[slot] = record
+            else:
+                records[slot] = record
+    return records, corrupt, duplicates, total_bytes, shard_paths
+
+
+def cache_dir_stats(directory) -> CacheDirStats:
+    """Summarise a cache directory without modifying it."""
+    directory = pathlib.Path(directory)
+    records, corrupt, duplicates, total_bytes, shard_paths = _scan_cache_dir(directory)
+    by_namespace: dict[str, dict] = {}
+    for (namespace, _key), record in records.items():
+        info = by_namespace.setdefault(namespace, {"entries": 0, "bytes": 0})
+        info["entries"] += 1
+        info["bytes"] += len(json.dumps(record, sort_keys=True)) + 1
+    stats = []
+    for namespace in sorted(by_namespace):
+        info = by_namespace[namespace]
+        prefix = f"{_sanitize(namespace)}--"
+        shards = sum(1 for path in shard_paths if path.name.startswith(prefix))
+        stats.append(NamespaceStats(
+            namespace=namespace,
+            entries=info["entries"],
+            shards=shards,
+            bytes=info["bytes"],
+        ))
+    return CacheDirStats(
+        directory=str(directory),
+        namespaces=stats,
+        corrupt_lines=corrupt,
+        duplicates=duplicates,
+        total_shards=len(shard_paths),
+        total_bytes=total_bytes,
+    )
+
+
+def compact_cache_dir(
+    directory,
+    *,
+    max_age_days: Optional[float] = None,
+    max_size_mb: Optional[float] = None,
+    now: Optional[float] = None,
+) -> CompactionReport:
+    """Compact a cache directory: dedup, drop corrupt lines, evict by budget.
+
+    All shards are parsed, corrupt / torn lines are dropped, duplicate
+    ``(namespace, key)`` entries collapse to their newest record, entries
+    older than ``max_age_days`` are evicted, then the oldest remaining
+    entries are evicted until the directory fits ``max_size_mb``.  Each
+    namespace is rewritten as a single ``<prefix>--main.jsonl`` shard
+    (atomically: temp file + rename), and stale shard files are removed.
+
+    Run this offline — concurrent sweep writers appending to a shard being
+    rewritten would lose their appends.
+    """
+    directory = pathlib.Path(directory)
+    if max_age_days is not None and max_age_days <= 0:
+        raise ValueError("max_age_days must be positive")
+    if max_size_mb is not None and max_size_mb <= 0:
+        raise ValueError("max_size_mb must be positive")
+    now = time.time() if now is None else float(now)
+
+    records, corrupt, duplicates, bytes_before, shard_paths = _scan_cache_dir(directory)
+    entries_before = len(records) + duplicates
+
+    evicted_age = 0
+    if max_age_days is not None:
+        cutoff = now - max_age_days * 86400.0
+        fresh = {slot: rec for slot, rec in records.items() if rec["ts"] >= cutoff}
+        evicted_age = len(records) - len(fresh)
+        records = fresh
+
+    # Oldest-first size eviction against the serialized-line budget.
+    lines = {
+        slot: json.dumps(record, sort_keys=True) + "\n"
+        for slot, record in records.items()
+    }
+    evicted_size = 0
+    if max_size_mb is not None:
+        budget = max_size_mb * 1024 * 1024
+        total = sum(len(line.encode("utf-8")) for line in lines.values())
+        for slot in sorted(records, key=lambda s: (records[s]["ts"], s)):
+            if total <= budget:
+                break
+            total -= len(lines[slot].encode("utf-8"))
+            del records[slot]
+            del lines[slot]
+            evicted_size += 1
+
+    # Rewrite one shard per (sanitized) namespace; records of distinct
+    # namespaces that sanitize to the same prefix share a file — harmless,
+    # the loader checks the per-record namespace anyway.
+    by_prefix: dict[str, list[tuple]] = {}
+    for slot in sorted(records, key=lambda s: (s[0], records[s]["ts"], s[1])):
+        by_prefix.setdefault(_sanitize(slot[0]), []).append(slot)
+    written: set[str] = set()
+    bytes_after = 0
+    for prefix, slots in by_prefix.items():
+        name = f"{prefix}--main.jsonl"
+        payload = "".join(lines[slot] for slot in slots)
+        tmp = directory / (name + ".tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, directory / name)
+        written.add(name)
+        bytes_after += len(payload.encode("utf-8"))
+    for path in shard_paths:
+        if path.name not in written:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    report = CompactionReport(
+        shards_before=len(shard_paths),
+        shards_after=len(written),
+        entries_before=entries_before,
+        entries_kept=len(records),
+        duplicates_dropped=duplicates,
+        corrupt_lines_dropped=corrupt,
+        evicted_by_age=evicted_age,
+        evicted_by_size=evicted_size,
+        bytes_before=bytes_before,
+        bytes_after=bytes_after,
+    )
+    logger.info("%s", report.summary())
+    return report

@@ -1,47 +1,96 @@
-"""Process-based multi-device sweep engine.
+"""Process-based multi-device sweep engine with resilient scheduling.
 
-A sweep fans a (device x strategy x latency-target) grid out across
-**worker processes**.  The per-search :class:`~repro.search.parallel.ParallelEvaluator`
-parallelises estimator batches with threads *inside* one search; the sweep
-parallelises whole co-design searches, which are CPU-bound Python, so
-processes are the right executor here.  Every ingredient of a task is a
-picklable primitive (:class:`SweepTask` carries names, numbers and a seed;
-the worker rebuilds devices, estimators and flows on its side), which keeps
-the fan-out start-method agnostic.
+A sweep fans a (device x clock x utilization x strategy x latency-target)
+grid out across **worker processes**.  The per-search
+:class:`~repro.search.parallel.ParallelEvaluator` parallelises estimator
+batches with threads *inside* one search; the sweep parallelises whole
+co-design searches, which are CPU-bound Python, so processes are the right
+executor here.  Every ingredient of a task is a picklable primitive
+(:class:`SweepTask` carries names, numbers and a seed; the worker rebuilds
+devices, estimators and flows on its side), which keeps the fan-out
+start-method agnostic.
 
-Each task runs the full co-design pipeline (model fitting, bundle
-selection, strategy-driven DNN search, Auto-HLS refinement) and produces a
-:class:`SweepOutcome`: the archivable :class:`~repro.search.session.SearchSession`
-journal plus cache and timing accounting.  A task's journal depends only on
-the task itself — never on the worker count or on the warmth of the disk
-cache — so ``workers=8`` and ``workers=1`` produce identical journals.
+Execution is a **two-phase schedule**:
+
+1. **Preparation** — the per-device analytical-model fit (co-design step 1)
+   and bundle selection (step 2) are deterministic per (device, clock,
+   utilization, top-bundles) and independent of the strategy / latency
+   target, so they run *once per device* in the parent and are shipped to
+   workers as a serializable :class:`PreparedDevice` artifact instead of
+   being recomputed in every grid cell.
+2. **Execution** — cells are dispatched longest-expected-first to a
+   work-stealing pool of single-task worker processes (``schedule="steal"``,
+   the default) or to a classic statically-chunked process pool
+   (``schedule="chunked"``).  Expected costs come from the previous run's
+   journal timings when a cache directory is given (``_timings.json``) and
+   fall back to a deterministic budget heuristic.
+
+The stealing scheduler owns each worker process, so it can enforce a
+per-task wall-clock **timeout**, kill the stuck process and **retry** the
+cell a bounded number of times.  A cell that keeps failing (timeout, raise,
+crash or a garbage return value) ends up as a structured
+:class:`SweepFailure` in the :class:`SweepResult` — the sweep always
+completes and reports, it never hangs or silently drops cells.
+
+Each task runs the remaining co-design pipeline (strategy-driven DNN
+search, Auto-HLS refinement) and produces a :class:`SweepOutcome`: the
+archivable :class:`~repro.search.session.SearchSession` journal plus cache
+and timing accounting.  A task's journal depends only on the task itself —
+never on the worker count, the schedule or the warmth of the disk cache —
+so ``workers=8`` and ``workers=1``, stealing and chunked, all produce
+identical journals.
 
 When a cache directory is given, every worker layers the persistent
 :class:`~repro.sweep.disk_cache.DiskEvaluationCache` under its in-memory
 cache, so repeated sweeps and re-runs skip estimator calls entirely.
+
+Fault injection (tests / CI): the environment variables
+``REPRO_SWEEP_FAIL_TASKS`` and ``REPRO_SWEEP_STALL_TASKS`` hold
+comma-separated task names; :func:`run_sweep_task` raises for the former
+and blocks for the latter, which lets a smoke test poison exactly one grid
+cell without patching code inside worker processes.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence, Union
 
 from repro.hw.device import resolve_devices
 from repro.search import available_strategies
 from repro.utils.logging import get_logger
 from repro.utils.serialization import dump_json, to_jsonable
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.analytical import AnalyticalModelCoefficients
+
 logger = get_logger(__name__)
+
+#: Name of the per-cache-dir journal-timings file feeding the cost model.
+TIMINGS_FILENAME = "_timings.json"
+
+#: Fault-injection environment variables (comma-separated task names).
+FAIL_TASKS_ENV = "REPRO_SWEEP_FAIL_TASKS"
+STALL_TASKS_ENV = "REPRO_SWEEP_STALL_TASKS"
+
+
+def _env_task_names(variable: str) -> set[str]:
+    return {part.strip() for part in os.environ.get(variable, "").split(",") if part.strip()}
 
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One cell of the sweep grid: a device, a strategy and a target.
+    """One cell of the sweep grid: device, clock, utilization, strategy, target.
 
     Deliberately made of picklable primitives only; the worker process
     rebuilds the heavyweight objects (device, estimator, flow) from them.
+    ``clock_mhz=None`` means the device's default clock.
     """
 
     device: str
@@ -52,10 +101,27 @@ class SweepTask:
     num_candidates: int = 2
     top_bundles: int = 5
     seed: int = 2019
+    clock_mhz: Optional[float] = None
+    utilization: float = 1.0
 
     @property
     def name(self) -> str:
-        return f"{self.device}-{self.strategy}-{self.fps:g}fps"
+        name = f"{self.device}-{self.strategy}-{self.fps:g}fps"
+        if self.clock_mhz is not None:
+            name += f"-{self.clock_mhz:g}MHz"
+        if self.utilization != 1.0:
+            name += f"-u{self.utilization:g}"
+        return name
+
+    @property
+    def prep_key(self) -> tuple:
+        """Preparation cells with equal keys share one :class:`PreparedDevice`.
+
+        The model fit and bundle selection depend on the device, the
+        accelerator clock, the utilization limit and how many bundles are
+        selected — not on the strategy, the latency target or the seed.
+        """
+        return (self.device, self.clock_mhz, self.utilization, self.top_bundles)
 
 
 def build_grid(
@@ -68,15 +134,20 @@ def build_grid(
     num_candidates: int = 2,
     top_bundles: int = 5,
     seed: int = 2019,
+    clocks_mhz: Optional[Sequence[float]] = None,
+    utilizations: Sequence[float] = (1.0,),
 ) -> list[SweepTask]:
-    """Build the device x strategy x latency-target task grid.
+    """Build the device x clock x utilization x strategy x target task grid.
 
     ``devices`` and ``strategies`` accept comma-separated strings or
     sequences of names; both are validated eagerly so a typo fails before
-    any worker is spawned.  The grid order (devices outermost, targets
-    innermost) is deterministic, and every axis is deduplicated — duplicate
-    cells would run twice and make two workers append to the same
-    disk-cache shard.
+    any worker is spawned.  ``clocks_mhz=None`` (the default) keeps every
+    device at its default clock; an explicit clock list is validated
+    against each device's supported range.  ``utilizations`` restricts the
+    usable fraction of the device resources per cell.  The grid order
+    (devices outermost, targets innermost) is deterministic, and every axis
+    is deduplicated — duplicate cells would run twice and make two workers
+    append to the same disk-cache shard.
     """
     resolved_devices = resolve_devices(devices)
     if isinstance(strategies, str):
@@ -101,6 +172,22 @@ def build_grid(
         raise ValueError("tolerance_ms must be positive")
     if iterations <= 0 or num_candidates <= 0 or top_bundles <= 0:
         raise ValueError("iterations, num_candidates and top_bundles must be positive")
+
+    if clocks_mhz is None:
+        clock_values: list[Optional[float]] = [None]
+    else:
+        clock_values = list(dict.fromkeys(float(clock) for clock in clocks_mhz))
+        if not clock_values:
+            raise ValueError("At least one clock frequency is required")
+        for device in resolved_devices:
+            for clock in clock_values:
+                device.validate_clock(clock)
+    utilization_values = list(dict.fromkeys(float(u) for u in utilizations))
+    if not utilization_values:
+        raise ValueError("At least one utilization limit is required")
+    if any(not 0.0 < u <= 1.0 for u in utilization_values):
+        raise ValueError("utilization limits must be in (0, 1]")
+
     return [
         SweepTask(
             device=device.name,
@@ -111,11 +198,126 @@ def build_grid(
             num_candidates=num_candidates,
             top_bundles=top_bundles,
             seed=seed,
+            clock_mhz=clock,
+            utilization=utilization,
         )
         for device in resolved_devices
+        for clock in clock_values
+        for utilization in utilization_values
         for strategy in strategy_names
         for fps in fps_values
     ]
+
+
+# ----------------------------------------------------------------- preparation
+@dataclass(frozen=True)
+class PreparedDevice:
+    """Per-device preparation artifact shared by every cell of that device.
+
+    Carries the result of co-design steps 1 and 2 (fitted analytical-model
+    coefficients and the selected bundle ids, in selection order) so the
+    per-cell workers can jump straight to step 3.  Picklable, so it ships
+    to worker processes unchanged — the coefficients are bit-exact, not a
+    JSON round-trip.
+    """
+
+    device: str
+    clock_mhz: float
+    utilization: float
+    top_bundles: int
+    coefficients: "AnalyticalModelCoefficients"
+    selected_bundle_ids: tuple[int, ...]
+    fingerprint: str
+    prep_duration_s: float = 0.0
+
+    def matches(self, task: SweepTask) -> bool:
+        """True when this artifact is valid for ``task``.
+
+        A task without an explicit clock means the device default, so the
+        artifact's clock must equal that default — an artifact fitted at
+        another clock carries wrong coefficients and must be rejected.
+        """
+        if (
+            task.device != self.device
+            or task.utilization != self.utilization
+            or task.top_bundles != self.top_bundles
+        ):
+            return False
+        if task.clock_mhz is not None:
+            return task.clock_mhz == self.clock_mhz
+        from repro.hw.device import get_device
+
+        try:
+            default_clock = get_device(task.device).default_clock_mhz
+        except KeyError:  # pragma: no cover - unknown device fails later anyway
+            return False
+        return default_clock == self.clock_mhz
+
+    def as_dict(self) -> dict:
+        """Compact JSON view (the full coefficients stay pickle-only)."""
+        return {
+            "device": self.device,
+            "clock_mhz": self.clock_mhz,
+            "utilization": self.utilization,
+            "top_bundles": self.top_bundles,
+            "selected_bundle_ids": list(self.selected_bundle_ids),
+            "fingerprint": self.fingerprint,
+            "prep_duration_s": self.prep_duration_s,
+        }
+
+
+def _task_flow(task: SweepTask):
+    """Build the co-design flow for one sweep task (device resolved inside)."""
+    from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
+    from repro.detection.task import DAC_SDC_TASK
+    from repro.hw.device import get_device
+
+    device = get_device(task.device)
+    clock = device.validate_clock(task.clock_mhz) if task.clock_mhz is not None \
+        else device.default_clock_mhz
+    target = LatencyTarget(fps=task.fps, clock_mhz=clock, tolerance_ms=task.tolerance_ms)
+    inputs = CoDesignInputs(
+        task=DAC_SDC_TASK,
+        device=device,
+        latency_targets=(target,),
+        utilization_limit=task.utilization,
+    )
+    flow = CoDesignFlow(
+        inputs,
+        candidates_per_bundle=task.num_candidates,
+        top_n_bundles=task.top_bundles,
+        scd_iterations=task.iterations,
+        rng=task.seed,
+        search_strategy=task.strategy,
+        clock_mhz=clock,
+    )
+    return flow, device, target
+
+
+def prepare_device(task: SweepTask) -> PreparedDevice:
+    """Run co-design steps 1 and 2 once for a task's preparation cell.
+
+    Both steps are deterministic for a given (device, clock, utilization,
+    top-bundles) tuple, so the resulting artifact is valid for every grid
+    cell sharing the task's :attr:`SweepTask.prep_key`.
+    """
+    from repro.sweep.disk_cache import coefficients_fingerprint
+
+    start = time.perf_counter()
+    flow, _, _ = _task_flow(task)
+    flow.step1_modeling()
+    _, _, selected = flow.step2_bundle_selection()
+    coefficients = flow.auto_hls.coefficients
+    return PreparedDevice(
+        device=task.device,
+        clock_mhz=flow.auto_hls.clock_mhz,
+        utilization=task.utilization,
+        top_bundles=task.top_bundles,
+        coefficients=coefficients,
+        selected_bundle_ids=tuple(b.bundle_id for b in selected),
+        fingerprint=coefficients_fingerprint(coefficients),
+        prep_duration_s=time.perf_counter() - start,
+    )
 
 
 @dataclass
@@ -135,6 +337,8 @@ class SweepOutcome:
     disk_misses: int
     estimator_calls: int
     duration_s: float
+    attempts: int = 1
+    used_shared_prep: bool = False
 
     @property
     def disk_hit_rate(self) -> float:
@@ -151,39 +355,80 @@ class SweepOutcome:
         if self.disk_hits or self.disk_misses:
             line += f", disk cache {self.disk_hit_rate:.0%} hit rate"
         line += f", {self.duration_s:.2f}s"
+        if self.attempts > 1:
+            line += f" (attempt {self.attempts})"
         return line
 
 
-def run_sweep_task(task: SweepTask, cache_dir: Optional[str] = None) -> SweepOutcome:
-    """Execute one sweep task (this is the process-pool worker function)."""
+@dataclass
+class SweepFailure:
+    """Structured record of one grid cell that exhausted its retries."""
+
+    task: SweepTask
+    kind: str  # "timeout" | "error" | "crash" | "invalid-result"
+    error: str
+    attempts: int
+    duration_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.task.name}: FAILED ({self.kind}) after "
+            f"{self.attempts} attempt{'s' if self.attempts != 1 else ''} — {self.error}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "task": to_jsonable(self.task),
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "duration_s": self.duration_s,
+        }
+
+
+def run_sweep_task(
+    task: SweepTask,
+    cache_dir: Optional[str] = None,
+    prepared: Optional[PreparedDevice] = None,
+) -> SweepOutcome:
+    """Execute one sweep task (this is the worker-process function).
+
+    When ``prepared`` is given (and matches the task), co-design steps 1
+    and 2 are skipped and the artifact's coefficients / bundle selection
+    are applied instead; the journal is identical either way, because the
+    preparation is deterministic and the search-side evaluation cache is
+    reset when the search starts.
+    """
     # Imported here so a forked/spawned worker resolves everything locally.
-    from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
     from repro.core.auto_dnn import AutoDNN
-    from repro.detection.task import DAC_SDC_TASK
-    from repro.hw.device import get_device
+    from repro.core.bundle_generation import get_bundle
     from repro.search import EvaluationCache, SearchSession
     from repro.sweep.disk_cache import DiskEvaluationCache, coefficients_fingerprint
 
-    start = time.perf_counter()
-    device = get_device(task.device)
-    target = LatencyTarget(
-        fps=task.fps, clock_mhz=device.default_clock_mhz, tolerance_ms=task.tolerance_ms
-    )
-    inputs = CoDesignInputs(task=DAC_SDC_TASK, device=device, latency_targets=(target,))
-    flow = CoDesignFlow(
-        inputs,
-        candidates_per_bundle=task.num_candidates,
-        top_n_bundles=task.top_bundles,
-        scd_iterations=task.iterations,
-        rng=task.seed,
-        search_strategy=task.strategy,
-    )
-    flow.step1_modeling()
+    if task.name in _env_task_names(FAIL_TASKS_ENV):
+        raise RuntimeError(f"injected failure for task {task.name}")
+    if task.name in _env_task_names(STALL_TASKS_ENV):
+        time.sleep(3600.0)  # simulates a hung cell; killed by the scheduler
 
-    # The disk cache can only exist after step 1: its namespace embeds the
-    # fitted-coefficients fingerprint so a refit can never serve stale
-    # estimates.  The fit is deterministic per device, so repeated sweeps
-    # land in the same namespace and hit.
+    start = time.perf_counter()
+    flow, device, target = _task_flow(task)
+    if prepared is not None and not prepared.matches(task):
+        raise ValueError(
+            f"PreparedDevice for {prepared.device}@{prepared.clock_mhz:g}MHz "
+            f"does not match task {task.name}"
+        )
+    if prepared is not None:
+        flow.auto_hls.coefficients = prepared.coefficients
+        flow.evaluator.coefficients = prepared.coefficients
+        selected = [get_bundle(bundle_id) for bundle_id in prepared.selected_bundle_ids]
+    else:
+        flow.step1_modeling()
+        _, _, selected = flow.step2_bundle_selection()
+
+    # The disk cache can only exist after the model fit: its namespace
+    # embeds the fitted-coefficients fingerprint so a refit can never serve
+    # stale estimates.  The fit is deterministic per device, so repeated
+    # sweeps land in the same namespace and hit.
     disk: Optional[DiskEvaluationCache] = None
     if cache_dir is not None:
         disk = DiskEvaluationCache(
@@ -196,8 +441,9 @@ def run_sweep_task(task: SweepTask, cache_dir: Optional[str] = None) -> SweepOut
         )
         flow.attach_evaluation_cache(EvaluationCache(disk))
 
-    # Journal metadata excludes worker count and cache warmth on purpose:
-    # the journal of a task must be identical across execution modes.
+    # Journal metadata excludes worker count, schedule, preparation mode and
+    # cache warmth on purpose: the journal of a task must be identical
+    # across execution modes.
     session = SearchSession(
         name=task.name,
         metadata={
@@ -209,9 +455,10 @@ def run_sweep_task(task: SweepTask, cache_dir: Optional[str] = None) -> SweepOut
             "num_candidates": task.num_candidates,
             "top_bundles": task.top_bundles,
             "seed": task.seed,
+            "clock_mhz": flow.auto_hls.clock_mhz,
+            "utilization": task.utilization,
         },
     )
-    _, _, selected = flow.step2_bundle_selection()
     candidates = flow.step3_search(selected, session=session)
 
     best = AutoDNN.best_per_target(candidates, [target]).get(target)
@@ -232,7 +479,25 @@ def run_sweep_task(task: SweepTask, cache_dir: Optional[str] = None) -> SweepOut
         disk_misses=disk_stats.misses if disk_stats else 0,
         estimator_calls=disk_stats.misses if disk_stats else memory_stats.misses,
         duration_s=time.perf_counter() - start,
+        used_shared_prep=prepared is not None,
     )
+
+
+def expected_cost(task: SweepTask, hints: Optional[Mapping[str, float]] = None) -> float:
+    """Expected wall-clock cost of one cell, for longest-expected-first order.
+
+    Prior journal timings (``hints``, keyed by task name) win when present;
+    otherwise a deterministic budget heuristic — evaluation budget scaled
+    by the candidate count — keeps the ordering stable across runs.
+    """
+    if hints:
+        hinted = hints.get(task.name)
+        if hinted is not None:
+            try:
+                return float(hinted)
+            except (TypeError, ValueError):
+                pass
+    return float(task.iterations * task.num_candidates * task.top_bundles)
 
 
 @dataclass
@@ -243,6 +508,10 @@ class SweepResult:
     workers: int
     cache_dir: Optional[str] = None
     wall_time_s: float = 0.0
+    failures: list[SweepFailure] = field(default_factory=list)
+    schedule: str = "steal"
+    preparations: list[PreparedDevice] = field(default_factory=list)
+    prep_time_s: float = 0.0
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -251,21 +520,36 @@ class SweepResult:
     def estimator_calls(self) -> int:
         return sum(outcome.estimator_calls for outcome in self.outcomes)
 
+    @property
+    def ok(self) -> bool:
+        """True when every grid cell produced an outcome."""
+        return not self.failures
+
     def summary(self) -> str:
         mode = f"{self.workers} process{'es' if self.workers != 1 else ''}"
-        lines = [
+        header = (
             f"Sweep: {len(self.outcomes)} tasks on {mode}, "
             f"{self.estimator_calls} estimator calls, {self.wall_time_s:.2f}s wall"
-        ]
+        )
+        if self.preparations:
+            header += f" ({len(self.preparations)} shared preparations, {self.prep_time_s:.2f}s)"
+        if self.failures:
+            header += f", {len(self.failures)} FAILED"
+        lines = [header]
         lines.extend(f"  {outcome.summary()}" for outcome in self.outcomes)
+        lines.extend(f"  {failure.summary()}" for failure in self.failures)
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
         return {
             "workers": self.workers,
+            "schedule": self.schedule,
             "cache_dir": self.cache_dir,
             "wall_time_s": self.wall_time_s,
+            "prep_time_s": self.prep_time_s,
+            "preparations": [prep.as_dict() for prep in self.preparations],
             "outcomes": [to_jsonable(outcome) for outcome in self.outcomes],
+            "failures": [failure.as_dict() for failure in self.failures],
         }
 
     def save(self, path):
@@ -273,44 +557,403 @@ class SweepResult:
         return dump_json(self.as_dict(), path)
 
 
-class SweepRunner:
-    """Fan a sweep grid out across worker processes.
+def _dispatch_worker(conn, task_fn, task, cache_dir, prepared) -> None:
+    """Child-process entry of the stealing scheduler: run, then report."""
+    try:
+        result = task_fn(task, cache_dir, prepared)
+        payload = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        payload = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable result: report instead of dying
+        try:
+            conn.send(("error", f"unpicklable task result: {exc!r}"))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
 
-    ``workers=1`` runs every task in-process (serial, easiest to debug);
-    ``workers>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`.
-    Results are collected in task order either way, and each task's journal
-    is independent of the execution mode, so the two are interchangeable.
+
+class _Attempt:
+    """Parent-side bookkeeping of one in-flight worker process."""
+
+    __slots__ = ("process", "conn", "started", "attempt")
+
+    def __init__(self, process, conn, attempt: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.started = time.monotonic()
+        self.attempt = attempt
+
+
+class SweepRunner:
+    """Fan a sweep grid out across worker processes, resiliently.
+
+    ``workers=1`` (without a timeout) runs every task in-process (serial,
+    easiest to debug); otherwise cells run in worker processes under one of
+    two schedules:
+
+    * ``"steal"`` (default) — a work-stealing pool of single-task
+      processes: cells are dispatched longest-expected-first, an idle slot
+      immediately pulls the next cell, and each attempt runs under the
+      per-task wall-clock ``timeout_s`` with up to ``retries`` retries.
+    * ``"chunked"`` — the classic static process-pool map; kept for
+      comparison and as the determinism baseline.  It cannot kill a stuck
+      worker, so combining it with ``timeout_s`` is rejected.
+
+    Preparation (model fit + bundle selection) runs once per unique
+    :attr:`SweepTask.prep_key` in the parent and is shipped to workers (see
+    :class:`PreparedDevice`); pass ``share_preparation=False`` to restore
+    the per-cell behaviour.  Results are collected in task order in every
+    mode, and each task's journal is independent of the execution mode, so
+    all modes are interchangeable.
     """
+
+    SCHEDULES = ("steal", "chunked")
 
     def __init__(
         self,
         tasks: Sequence[SweepTask],
         workers: int = 1,
         cache_dir: Optional[str] = None,
+        *,
+        schedule: str = "steal",
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        cost_hints: Optional[Mapping[str, float]] = None,
+        share_preparation: bool = True,
+        task_fn: Callable[..., SweepOutcome] = run_sweep_task,
     ) -> None:
         if not tasks:
             raise ValueError("At least one sweep task is required")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if schedule not in self.SCHEDULES:
+            raise ValueError(f"schedule must be one of {self.SCHEDULES}, got '{schedule}'")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if schedule == "chunked" and timeout_s is not None:
+            raise ValueError(
+                "per-task timeouts require the work-stealing schedule "
+                "(a chunked pool cannot kill a stuck worker)"
+            )
         self.tasks = list(tasks)
         self.workers = workers
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.schedule = schedule
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.cost_hints = dict(cost_hints) if cost_hints else None
+        self.share_preparation = share_preparation
+        self.task_fn = task_fn
 
+    # ------------------------------------------------------------ cost hints
+    def _timings_path(self) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return pathlib.Path(self.cache_dir) / TIMINGS_FILENAME
+
+    def _load_cost_hints(self) -> dict[str, float]:
+        hints: dict[str, float] = {}
+        path = self._timings_path()
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text())
+                if isinstance(payload, dict):
+                    hints.update({
+                        str(name): float(value)
+                        for name, value in payload.items()
+                        if isinstance(value, (int, float))
+                    })
+            except (OSError, ValueError):
+                logger.warning("ignoring unreadable timings file %s", path)
+        if self.cost_hints:
+            hints.update(self.cost_hints)
+        return hints
+
+    def _save_timings(self, outcomes: Sequence[SweepOutcome]) -> None:
+        path = self._timings_path()
+        if path is None or not outcomes:
+            return
+        merged: dict[str, float] = {}
+        if path.exists():
+            try:
+                payload = json.loads(path.read_text())
+                if isinstance(payload, dict):
+                    merged.update(payload)
+            except (OSError, ValueError):
+                pass
+        merged.update({o.task.name: round(o.duration_s, 6) for o in outcomes})
+        tmp = path.with_suffix(".json.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(merged, sort_keys=True, indent=0) + "\n")
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - best-effort persistence
+            logger.warning("could not persist sweep timings to %s", path)
+
+    # ------------------------------------------------------------- execution
     def run(self) -> SweepResult:
         start = time.perf_counter()
-        if self.workers == 1 or len(self.tasks) == 1:
-            outcomes = [run_sweep_task(task, self.cache_dir) for task in self.tasks]
+
+        preparations: dict[tuple, PreparedDevice] = {}
+        if self.share_preparation:
+            for task in self.tasks:
+                if task.prep_key not in preparations:
+                    preparations[task.prep_key] = prepare_device(task)
+        prep_time = time.perf_counter() - start
+
+        hints = self._load_cost_hints()
+        order = sorted(
+            range(len(self.tasks)),
+            key=lambda index: (-expected_cost(self.tasks[index], hints), index),
+        )
+
+        if self.workers == 1 and self.timeout_s is None:
+            outcomes_by_index, failures_by_index = self._run_serial(preparations)
+        elif self.schedule == "chunked":
+            outcomes_by_index, failures_by_index = self._run_chunked(preparations)
         else:
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(self.tasks))) as pool:
-                futures = [
-                    pool.submit(run_sweep_task, task, self.cache_dir) for task in self.tasks
-                ]
-                outcomes = [future.result() for future in futures]
+            outcomes_by_index, failures_by_index = self._run_stealing(order, preparations)
+
+        outcomes = [outcomes_by_index[i] for i in sorted(outcomes_by_index)]
+        failures = [failures_by_index[i] for i in sorted(failures_by_index)]
+        self._save_timings(outcomes)
         wall = time.perf_counter() - start
-        logger.info("sweep finished: %d tasks in %.2fs", len(outcomes), wall)
+        logger.info(
+            "sweep finished: %d/%d tasks in %.2fs (%d failed)",
+            len(outcomes), len(self.tasks), wall, len(failures),
+        )
         return SweepResult(
             outcomes=outcomes,
             workers=self.workers,
             cache_dir=self.cache_dir,
             wall_time_s=wall,
+            failures=failures,
+            schedule=self.schedule,
+            preparations=list(preparations.values()),
+            prep_time_s=prep_time,
         )
+
+    def _prepared_for(
+        self, task: SweepTask, preparations: Mapping[tuple, PreparedDevice]
+    ) -> Optional[PreparedDevice]:
+        return preparations.get(task.prep_key)
+
+    def _classify(self, value) -> tuple[Optional[SweepOutcome], Optional[tuple[str, str]]]:
+        """Sort a worker return value into outcome vs (kind, error)."""
+        if isinstance(value, SweepOutcome):
+            return value, None
+        return None, (
+            "invalid-result",
+            f"worker returned {type(value).__name__!s} instead of SweepOutcome",
+        )
+
+    def _run_serial(self, preparations):
+        """In-process execution (workers=1, no timeout): retry on raise."""
+        outcomes: dict[int, SweepOutcome] = {}
+        failures: dict[int, SweepFailure] = {}
+        for index, task in enumerate(self.tasks):
+            elapsed = 0.0
+            for attempt in range(1, self.retries + 2):
+                attempt_start = time.perf_counter()
+                try:
+                    value = self.task_fn(task, self.cache_dir,
+                                         self._prepared_for(task, preparations))
+                except Exception as exc:  # noqa: BLE001 - converted to a record
+                    elapsed += time.perf_counter() - attempt_start
+                    verdict = ("error", f"{type(exc).__name__}: {exc}")
+                else:
+                    elapsed += time.perf_counter() - attempt_start
+                    outcome, verdict = self._classify(value)
+                    if outcome is not None:
+                        outcome.attempts = attempt
+                        outcomes[index] = outcome
+                        break
+                if attempt > self.retries:
+                    failures[index] = SweepFailure(
+                        task=task, kind=verdict[0], error=verdict[1],
+                        attempts=attempt, duration_s=elapsed,
+                    )
+                else:
+                    logger.warning("task %s attempt %d failed (%s); retrying",
+                                   task.name, attempt, verdict[1])
+        return outcomes, failures
+
+    def _run_chunked(self, preparations):
+        """Static chunked process-pool map (no timeout enforcement)."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        outcomes: dict[int, SweepOutcome] = {}
+        failures: dict[int, SweepFailure] = {}
+        attempts = dict.fromkeys(range(len(self.tasks)), 0)
+        remaining = list(range(len(self.tasks)))
+        while remaining:
+            # Fresh pool per round: a worker that dies hard (segfault,
+            # OOM-kill) breaks the whole executor, and a broken pool rejects
+            # further submits — the retry round must not inherit it.
+            broken: list[int] = []
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(remaining))) as pool:
+                futures = {
+                    index: pool.submit(
+                        self.task_fn, self.tasks[index], self.cache_dir,
+                        self._prepared_for(self.tasks[index], preparations),
+                    )
+                    for index in remaining
+                }
+                next_round: list[int] = []
+                for index, future in futures.items():
+                    task = self.tasks[index]
+                    attempts[index] += 1
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        # One dying worker poisons every in-flight future of
+                        # the pool; the blame cannot be attributed here, so
+                        # the round does not count as an attempt for anyone
+                        # and the affected cells rerun isolated (below).
+                        attempts[index] -= 1
+                        broken.append(index)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - becomes a record
+                        verdict = ("error", f"{type(exc).__name__}: {exc}")
+                        outcome = None
+                    else:
+                        outcome, verdict = self._classify(value)
+                    if outcome is not None:
+                        outcome.attempts = attempts[index]
+                        outcomes[index] = outcome
+                    elif attempts[index] <= self.retries:
+                        logger.warning("task %s attempt %d failed (%s); retrying",
+                                       task.name, attempts[index], verdict[1])
+                        next_round.append(index)
+                    else:
+                        failures[index] = SweepFailure(
+                            task=task, kind=verdict[0], error=verdict[1],
+                            attempts=attempts[index],
+                        )
+                remaining = next_round
+            if broken:
+                # Per-task process isolation attributes the crash to the
+                # actual culprit instead of failing innocent cells.
+                unresolved = sorted(broken + remaining)
+                logger.warning(
+                    "chunked pool broke (worker died); isolating %d remaining "
+                    "cell(s) in per-task processes", len(unresolved),
+                )
+                iso_outcomes, iso_failures = self._run_stealing(
+                    unresolved, preparations, attempts=attempts,
+                )
+                outcomes.update(iso_outcomes)
+                failures.update(iso_failures)
+                break
+        return outcomes, failures
+
+    def _run_stealing(self, order, preparations, attempts=None):
+        """Cost-ordered work-stealing pool with timeout kill and retry.
+
+        ``order`` lists the task indices to run (dispatch order);
+        ``attempts`` optionally carries attempt counts already consumed
+        (used when the chunked schedule degrades to isolated dispatch).
+        """
+        import multiprocessing
+        from multiprocessing import connection as mp_connection
+
+        ctx = multiprocessing.get_context()
+        pending = deque(order)
+        if attempts is None:
+            attempts = dict.fromkeys(range(len(self.tasks)), 0)
+        spent = dict.fromkeys(range(len(self.tasks)), 0.0)
+        running: dict[int, _Attempt] = {}
+        outcomes: dict[int, SweepOutcome] = {}
+        failures: dict[int, SweepFailure] = {}
+        max_slots = min(self.workers, len(order))
+
+        def settle(index: int, verdict: tuple[str, str]) -> None:
+            """Retry the cell or convert the verdict into a failure record."""
+            task = self.tasks[index]
+            if attempts[index] <= self.retries:
+                logger.warning("task %s attempt %d failed (%s); retrying",
+                               task.name, attempts[index], verdict[1])
+                pending.append(index)
+            else:
+                failures[index] = SweepFailure(
+                    task=task, kind=verdict[0], error=verdict[1],
+                    attempts=attempts[index], duration_s=spent[index],
+                )
+
+        def reap(index: int) -> _Attempt:
+            state = running.pop(index)
+            spent[index] += time.monotonic() - state.started
+            state.conn.close()
+            return state
+
+        try:
+            while pending or running:
+                while pending and len(running) < max_slots:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    task = self.tasks[index]
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    process = ctx.Process(
+                        target=_dispatch_worker,
+                        args=(child_conn, self.task_fn, task, self.cache_dir,
+                              self._prepared_for(task, preparations)),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    running[index] = _Attempt(process, parent_conn, attempts[index])
+
+                # Without a timeout there is nothing to poll for: block until
+                # a worker reports (or dies, which EOFs its pipe).
+                ready = mp_connection.wait(
+                    [state.conn for state in running.values()],
+                    timeout=0.05 if self.timeout_s is not None else None,
+                )
+                ready_set = set(ready)
+                now = time.monotonic()
+                for index in list(running):
+                    state = running[index]
+                    # Re-poll before any timeout verdict: a result that
+                    # landed after the wait() snapshot must win over the
+                    # deadline, or a completed cell would be killed and
+                    # recorded as a timeout.
+                    if state.conn in ready_set or state.conn.poll():
+                        try:
+                            status, value = state.conn.recv()
+                        except (EOFError, OSError):
+                            # The worker died without reporting (crash/kill).
+                            reap(index).process.join(timeout=5.0)
+                            settle(index, ("crash", "worker process died without a result"))
+                            continue
+                        reap(index).process.join(timeout=5.0)
+                        if status == "ok":
+                            outcome, verdict = self._classify(value)
+                            if outcome is not None:
+                                outcome.attempts = attempts[index]
+                                outcomes[index] = outcome
+                            else:
+                                settle(index, verdict)
+                        else:
+                            settle(index, ("error", str(value)))
+                    elif self.timeout_s is not None and now - state.started > self.timeout_s:
+                        state.process.terminate()
+                        state.process.join(timeout=1.0)
+                        if state.process.is_alive():  # pragma: no cover - hard kill
+                            state.process.kill()
+                            state.process.join(timeout=5.0)
+                        reap(index)
+                        settle(index, (
+                            "timeout",
+                            f"exceeded the {self.timeout_s:g}s per-task timeout",
+                        ))
+        finally:
+            for state in running.values():  # pragma: no cover - crash cleanup
+                state.process.terminate()
+                state.process.join(timeout=1.0)
+                state.conn.close()
+        return outcomes, failures

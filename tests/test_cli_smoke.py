@@ -1,0 +1,147 @@
+"""Smoke tests for every ``repro-codesign`` subcommand.
+
+Each subcommand is exercised twice: once end-to-end with a tiny budget
+(asserting on exit code and output), and once at the argument-parsing layer
+(bad choices and missing required arguments must exit with argparse's
+status 2, ``--help`` with 0).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+#: Tiny shared budget flags: every full run finishes in well under a second.
+BUDGET = ["--fps", "40", "--tolerance-ms", "10", "--top-bundles", "2",
+          "--candidates", "1", "--iterations", "20", "--seed", "1"]
+
+ALL_COMMANDS = ["codesign", "search", "sweep", "cache", "experiment",
+                "codegen", "bundles"]
+
+
+def _exit_code(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    return excinfo.value.code
+
+
+# --------------------------------------------------------------- help / parse
+class TestArgumentParsing:
+    def test_top_level_help(self, capsys):
+        assert _exit_code(["--help"]) == 0
+        out = capsys.readouterr().out
+        for command in ALL_COMMANDS:
+            assert command in out, f"{command} missing from top-level help"
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_subcommand_help(self, command, capsys):
+        assert _exit_code([command, "--help"]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_missing_command_is_a_parse_error(self, capsys):
+        assert _exit_code([]) == 2
+        assert "required" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["frobnicate"],                               # unknown command
+        ["search", "--strategy", "gradient-descent"],  # bad choice
+        ["sweep", "--schedule", "magic"],              # bad choice
+        ["cache"],                                     # missing action
+        ["cache", "stats"],                            # missing --cache-dir
+        ["cache", "defrag", "--cache-dir", "x"],       # bad action
+        ["experiment"],                                # missing name
+        ["experiment", "fig99"],                       # bad choice
+        ["codegen", "--design", "DNN9"],               # bad choice
+        ["codesign", "--iterations"],                  # missing value
+    ])
+    def test_parse_errors_exit_2(self, argv, capsys):
+        assert _exit_code(argv) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------ full runs
+class TestCommandRuns:
+    def test_codesign(self, capsys):
+        assert main(["codesign", "--device", "pynq-z1"] + BUDGET) == 0
+        assert "Co-design flow on PYNQ-Z1" in capsys.readouterr().out
+
+    def test_search_with_journal(self, tmp_path, capsys):
+        journal = tmp_path / "journal.json"
+        code = main(["search", "--strategy", "random", "--journal", str(journal)]
+                    + BUDGET)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Search strategy 'random'" in out
+        assert json.loads(journal.read_text())["records"]
+
+    def test_sweep_then_cache_stats_and_gc(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        report = tmp_path / "report.json"
+        code = main(["sweep", "--devices", "pynq-z1", "--strategies", "scd",
+                     "--cache-dir", str(cache_dir), "--report", str(report),
+                     "--timeout-s", "120", "--retries", "1"] + BUDGET)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep: 1 tasks" in out
+        assert "shared preparations" in out
+        payload = json.loads(report.read_text())
+        assert payload["sweep"]["schedule"] == "steal"
+        assert payload["sweep"]["failures"] == []
+        assert payload["sweep"]["preparations"][0]["device"] == "PYNQ-Z1"
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "PYNQ-Z1@100MHz" in stats_out
+
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert "compaction:" in capsys.readouterr().out
+
+    def test_sweep_with_poisoned_cell_reports_and_exits_1(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.sweep.runner import FAIL_TASKS_ENV
+
+        monkeypatch.setenv(FAIL_TASKS_ENV, "PYNQ-Z1-random-40fps")
+        code = main(["sweep", "--devices", "pynq-z1", "--strategies",
+                     "scd,random", "--retries", "0", "--workers", "2"] + BUDGET)
+        assert code == 1, "a sweep with failed cells signals partial failure"
+        out = capsys.readouterr().out
+        assert "1 FAILED" in out
+        assert "PYNQ-Z1-random-40fps: FAILED (error)" in out
+        assert "Per-strategy comparison" in out, "survivors are still compared"
+
+    def test_sweep_grid_axes_flags(self, capsys):
+        code = main(["sweep", "--devices", "pynq-z1", "--strategies", "scd",
+                     "--clocks", "100", "--utilizations", "0.9"] + BUDGET)
+        assert code == 0
+        assert "PYNQ-Z1-scd-40fps-100MHz-u0.9" in capsys.readouterr().out
+
+    def test_sweep_rejects_timeout_with_chunked_schedule(self):
+        with pytest.raises(ValueError, match="work-stealing"):
+            main(["sweep", "--schedule", "chunked", "--timeout-s", "5"] + BUDGET)
+
+    def test_cache_stats_on_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_gc_rejects_bad_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_age_days"):
+            main(["cache", "gc", "--cache-dir", str(tmp_path),
+                  "--max-age-days", "0"])
+
+    def test_experiment_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_codegen(self, tmp_path, capsys):
+        code = main(["codegen", "--design", "DNN1", "--output", str(tmp_path)])
+        assert code == 0
+        assert any(path.suffix == ".cpp" for path in tmp_path.iterdir())
+        assert "Generated files" in capsys.readouterr().out
+
+    def test_bundles(self, capsys):
+        assert main(["bundles"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) >= 18

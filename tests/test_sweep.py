@@ -14,12 +14,16 @@ from repro.hw.device import PYNQ_Z1, resolve_devices
 from repro.search import EvaluationCache
 from repro.sweep import (
     DiskEvaluationCache,
+    PreparedDevice,
+    SweepFailure,
     SweepOutcome,
     SweepRunner,
     SweepTask,
     build_grid,
     coefficients_fingerprint,
     compare,
+    expected_cost,
+    prepare_device,
     run_sweep_task,
 )
 
@@ -123,6 +127,41 @@ class TestBuildGrid:
             build_grid("pynq-z1", "scd", [-40.0])
         with pytest.raises(ValueError, match="positive"):
             build_grid("pynq-z1", "scd", [40.0], iterations=0)
+
+    def test_clock_axis(self):
+        tasks = build_grid("pynq-z1", "scd", [40.0], clocks_mhz=[100.0, 125.0], **TINY)
+        assert [(t.clock_mhz, t.name) for t in tasks] == [
+            (100.0, "PYNQ-Z1-scd-40fps-100MHz"),
+            (125.0, "PYNQ-Z1-scd-40fps-125MHz"),
+        ]
+        # Default axis keeps clock_mhz=None and the legacy cell name.
+        default = build_grid("pynq-z1", "scd", [40.0], **TINY)[0]
+        assert default.clock_mhz is None and default.name == "PYNQ-Z1-scd-40fps"
+
+    def test_clock_axis_validated_per_device(self):
+        # 200 MHz is fine for ZC706 but above the PYNQ-Z1 maximum.
+        with pytest.raises(ValueError, match="PYNQ-Z1 supports at most"):
+            build_grid("zc706,pynq-z1", "scd", [40.0], clocks_mhz=[200.0], **TINY)
+        with pytest.raises(ValueError, match="positive"):
+            build_grid("pynq-z1", "scd", [40.0], clocks_mhz=[-50.0], **TINY)
+        with pytest.raises(ValueError):
+            build_grid("pynq-z1", "scd", [40.0], clocks_mhz=[], **TINY)
+
+    def test_utilization_axis(self):
+        tasks = build_grid("pynq-z1", "scd", [40.0], utilizations=[1.0, 0.7], **TINY)
+        assert [(t.utilization, t.name) for t in tasks] == [
+            (1.0, "PYNQ-Z1-scd-40fps"),
+            (0.7, "PYNQ-Z1-scd-40fps-u0.7"),
+        ]
+        with pytest.raises(ValueError, match="utilization"):
+            build_grid("pynq-z1", "scd", [40.0], utilizations=[1.5], **TINY)
+        with pytest.raises(ValueError, match="utilization"):
+            build_grid("pynq-z1", "scd", [40.0], utilizations=[0.0], **TINY)
+
+    def test_new_axes_deduplicated(self):
+        tasks = build_grid("pynq-z1", "scd", [40.0], clocks_mhz=[100.0, 100],
+                           utilizations=[0.8, 0.8], **TINY)
+        assert len(tasks) == 1
 
 
 # ----------------------------------------------------------------- disk cache
@@ -413,3 +452,156 @@ class TestSweepCLI:
 
         with pytest.raises(KeyError, match="Unknown device"):
             main(["sweep", "--devices", "bogus", "--fps", "40"])
+
+
+# -------------------------------------------------------- shared preparation
+class TestPreparedDevice:
+    def test_prepared_matches_inline_preparation(self, tmp_path):
+        """Skipping steps 1-2 via the artifact must not change the journal."""
+        task = build_grid("pynq-z1", "random", [40.0], **TINY)[0]
+        inline = run_sweep_task(task, str(tmp_path / "a"))
+        prepared = prepare_device(task)
+        shared = run_sweep_task(task, str(tmp_path / "b"), prepared=prepared)
+        assert json.dumps(inline.journal, sort_keys=True) == \
+            json.dumps(shared.journal, sort_keys=True)
+        assert inline.selected_bundles == shared.selected_bundles \
+            == list(prepared.selected_bundle_ids)
+        assert shared.used_shared_prep and not inline.used_shared_prep
+
+    def test_preparation_runs_once_per_device_per_sweep(self, monkeypatch):
+        """Acceptance: model fit + bundle selection once per device, not per cell."""
+        from repro.sweep import runner as runner_module
+
+        calls: list[tuple] = []
+        real = runner_module.prepare_device
+
+        def counting(task):
+            calls.append(task.prep_key)
+            return real(task)
+
+        monkeypatch.setattr(runner_module, "prepare_device", counting)
+        tasks = build_grid("pynq-z1", "scd,random", [40.0, 30.0], **TINY)
+        result = SweepRunner(tasks, workers=1).run()
+        assert len(tasks) == 4
+        assert len(calls) == 1, "one device grid must prepare exactly once"
+        assert all(outcome.used_shared_prep for outcome in result.outcomes)
+
+        calls.clear()
+        tasks = build_grid("pynq-z1,ultra96", "scd,random", [40.0], **TINY)
+        SweepRunner(tasks, workers=1).run()
+        assert len(calls) == 2, "one preparation per device"
+
+    def test_workers_receive_prepared_artifact(self):
+        tasks = build_grid("pynq-z1", "scd,random", [40.0], **TINY)
+        result = SweepRunner(tasks, workers=2).run()
+        assert all(outcome.used_shared_prep for outcome in result.outcomes)
+        assert len(result.preparations) == 1
+        assert result.prep_time_s > 0
+
+    def test_per_cell_preparation_opt_out(self):
+        tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
+        result = SweepRunner(tasks, workers=1, share_preparation=False).run()
+        assert not result.preparations
+        assert not result.outcomes[0].used_shared_prep
+
+    def test_mismatched_artifact_rejected(self):
+        tasks = build_grid("pynq-z1,ultra96", "scd", [40.0], **TINY)
+        prepared = prepare_device(tasks[0])
+        assert prepared.matches(tasks[0]) and not prepared.matches(tasks[1])
+        with pytest.raises(ValueError, match="does not match"):
+            run_sweep_task(tasks[1], prepared=prepared)
+
+    def test_wrong_clock_artifact_rejected_for_default_clock_task(self):
+        """A default-clock task means the device default (100 MHz here); an
+        artifact fitted at another clock carries wrong coefficients and
+        must not pass the guard."""
+        default_task = build_grid("pynq-z1", "scd", [40.0], **TINY)[0]
+        fast_task = build_grid("pynq-z1", "scd", [40.0], clocks_mhz=[125.0], **TINY)[0]
+        fast_prepared = prepare_device(fast_task)
+        assert not fast_prepared.matches(default_task)
+        with pytest.raises(ValueError, match="does not match"):
+            run_sweep_task(default_task, prepared=fast_prepared)
+        # The device-default artifact matches both spellings of 100 MHz.
+        default_prepared = prepare_device(default_task)
+        explicit_task = build_grid("pynq-z1", "scd", [40.0],
+                                   clocks_mhz=[100.0], **TINY)[0]
+        assert default_prepared.matches(default_task)
+        assert default_prepared.matches(explicit_task)
+
+    def test_artifact_as_dict_is_compact_json(self):
+        prepared = prepare_device(build_grid("pynq-z1", "scd", [40.0], **TINY)[0])
+        payload = json.loads(json.dumps(prepared.as_dict()))
+        assert payload["device"] == "PYNQ-Z1"
+        assert payload["clock_mhz"] == 100.0
+        assert payload["selected_bundle_ids"]
+        assert "coefficients" not in payload, "full coefficients stay pickle-only"
+        assert payload["fingerprint"] == coefficients_fingerprint(prepared.coefficients)
+
+
+# ------------------------------------------------------- cost-aware schedule
+class TestCostOrdering:
+    def test_heuristic_cost_scales_with_budget(self):
+        small = SweepTask(device="PYNQ-Z1", strategy="scd", fps=40.0, iterations=10)
+        large = SweepTask(device="PYNQ-Z1", strategy="scd", fps=40.0, iterations=100)
+        assert expected_cost(large) > expected_cost(small)
+
+    def test_journal_timings_override_heuristic(self):
+        task = SweepTask(device="PYNQ-Z1", strategy="scd", fps=40.0)
+        assert expected_cost(task, {task.name: 12.5}) == 12.5
+        assert expected_cost(task, {"other": 12.5}) == expected_cost(task)
+        assert expected_cost(task, {task.name: "garbage"}) == expected_cost(task)
+
+    def test_timings_file_written_and_reloaded(self, tmp_path):
+        tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
+        SweepRunner(tasks, workers=1, cache_dir=tmp_path).run()
+        timings = json.loads((tmp_path / "_timings.json").read_text())
+        assert set(timings) == {"PYNQ-Z1-scd-40fps"}
+        assert timings["PYNQ-Z1-scd-40fps"] > 0
+        runner = SweepRunner(tasks, workers=1, cache_dir=tmp_path)
+        assert runner._load_cost_hints() == timings
+
+    def test_corrupt_timings_file_ignored(self, tmp_path):
+        (tmp_path / "_timings.json").write_text("{not json")
+        tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
+        runner = SweepRunner(tasks, workers=1, cache_dir=tmp_path)
+        assert runner._load_cost_hints() == {}
+        result = runner.run()  # and the sweep itself is unaffected
+        assert result.ok
+
+    def test_timings_not_loaded_by_disk_cache(self, tmp_path, engine, initial):
+        (tmp_path / "_timings.json").write_text('{"PYNQ-Z1-scd-40fps": 1.0}')
+        cache = DiskEvaluationCache(engine.estimate, tmp_path, device="PYNQ-Z1")
+        assert len(cache) == 0
+
+
+# --------------------------------------------------------- runner validation
+class TestRunnerOptions:
+    def test_schedule_and_timeout_validation(self):
+        tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
+        with pytest.raises(ValueError, match="schedule"):
+            SweepRunner(tasks, schedule="magic")
+        with pytest.raises(ValueError, match="timeout_s"):
+            SweepRunner(tasks, timeout_s=0.0)
+        with pytest.raises(ValueError, match="retries"):
+            SweepRunner(tasks, retries=-1)
+        with pytest.raises(ValueError, match="work-stealing"):
+            SweepRunner(tasks, schedule="chunked", timeout_s=5.0)
+
+    def test_result_dict_includes_failures_and_schedule(self):
+        task = SweepTask(device="PYNQ-Z1", strategy="scd", fps=40.0)
+        from repro.sweep import SweepResult
+
+        result = SweepResult(
+            outcomes=[],
+            workers=2,
+            failures=[SweepFailure(task=task, kind="timeout",
+                                   error="exceeded 1s", attempts=2)],
+            schedule="steal",
+        )
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["schedule"] == "steal"
+        assert payload["failures"][0]["kind"] == "timeout"
+        assert payload["failures"][0]["attempts"] == 2
+        assert payload["failures"][0]["task"]["device"] == "PYNQ-Z1"
+        assert not result.ok
+        assert "FAILED" in result.summary()
