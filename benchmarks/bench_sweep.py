@@ -1,10 +1,12 @@
-"""Sweep-engine benchmarks: process fan-out and disk-cache warm-up.
+"""Sweep-engine benchmarks: process fan-out, disk-cache warm-up and resume.
 
 Measures (1) the wall-time effect of fanning the device x strategy grid out
-across worker processes versus running it serially, and (2) the speedup a
+across worker processes versus running it serially, (2) the speedup a
 warm :class:`~repro.sweep.disk_cache.DiskEvaluationCache` buys a repeated
 sweep — both in wall time and in avoided estimator invocations (the
-deterministic, machine-independent measure).
+deterministic, machine-independent measure) — and (3) the cost of resuming
+an already-complete sweep from its checkpoint (the floor every partial
+resume builds on: reused cells are replayed from disk, not re-searched).
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ import time
 
 import pytest
 
-from repro.sweep import SweepRunner, build_grid
+from repro.sweep import CHECKPOINT_FILENAME, SweepRunner, build_grid
 
 #: Tiny but non-trivial grid: 2 devices x 2 strategies, one target each.
 GRID = dict(
@@ -111,6 +113,36 @@ def test_work_stealing_on_skewed_costs(benchmark):
           f"{chunked_time * 1e3:.0f} ms, stealing {stealing_time * 1e3:.0f} ms "
           f"({ratio:.2f}x)")
     assert _journals(chunked) == _journals(stealing)
+
+
+def test_checkpoint_resume_reuses_completed_cells(benchmark, tmp_path):
+    """Resuming a finished sweep replays every cell from the checkpoint.
+
+    This is the best case of ``--resume`` (and the per-cell floor of any
+    partial resume): no preparation, no search, no estimator calls — the
+    journals come back byte-identical from the checkpoint records.
+    """
+    tasks = build_grid(**GRID, **BUDGET)
+    cache_dir = tmp_path / "sweep-cache"
+
+    start = time.perf_counter()
+    full = SweepRunner(tasks, workers=1, cache_dir=cache_dir).run()
+    full_time = time.perf_counter() - start
+
+    resumed = benchmark.pedantic(
+        lambda: SweepRunner(tasks, workers=1, cache_dir=cache_dir,
+                            resume_from=cache_dir / CHECKPOINT_FILENAME).run(),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    resume_time = benchmark.stats.stats.mean
+
+    speedup = full_time / resume_time if resume_time > 0 else float("inf")
+    print(f"\n[sweep resume] {len(tasks)} cells: full {full_time * 1e3:.0f} ms, "
+          f"resume {resume_time * 1e3:.0f} ms ({speedup:.2f}x, "
+          f"{resumed.reused} reused)")
+    assert resumed.reused == len(tasks)
+    assert not resumed.preparations, "a full resume skips preparation entirely"
+    assert _journals(resumed) == _journals(full)
 
 
 def test_cold_vs_warm_disk_cache(benchmark, tmp_path):

@@ -18,6 +18,12 @@ with a persistent evaluation cache and a comparison report::
         --workers 4 --cache-dir .sweep-cache --report sweep.json \
         --timeout-s 300 --retries 1
 
+Resume a sweep that died mid-run (only the failed / missing grid cells
+re-execute; checkpointed outcomes are reused verbatim)::
+
+    repro-codesign sweep --devices pynq-z1,ultra96 --strategies scd,random \
+        --workers 4 --cache-dir .sweep-cache --resume
+
 Inspect or garbage-collect a persistent sweep cache::
 
     repro-codesign cache stats --cache-dir .sweep-cache
@@ -96,9 +102,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--schedule", choices=["steal", "chunked"], default="steal",
                        help="cell dispatch: cost-ordered work-stealing or static chunks")
     sweep.add_argument("--timeout-s", type=float, default=None,
-                       help="per-cell wall-clock timeout (work-stealing schedule only)")
+                       help="per-cell wall-clock timeout floor (work-stealing schedule "
+                            "only); scaled up per cell from recorded cost hints")
+    sweep.add_argument("--timeout-scale", type=float, default=3.0,
+                       help="multiplier over a cell's recorded duration when computing "
+                            "its effective timeout (--timeout-s is the floor)")
     sweep.add_argument("--retries", type=int, default=1,
                        help="retries per failed/timed-out cell before recording a failure")
+    sweep.add_argument("--retry-backoff-s", type=float, default=0.1,
+                       help="base of the deterministic exponential retry backoff "
+                            "(0 disables backoff)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume from <cache-dir>/_checkpoint.jsonl: reuse completed "
+                            "cells, re-run only failed/missing ones")
+    sweep.add_argument("--from", dest="resume_from", default=None, metavar="PATH",
+                       help="explicit resume source: a _checkpoint.jsonl or a saved "
+                            "sweep result/report JSON (implies --resume)")
     sweep.add_argument("--per-cell-prep", action="store_true",
                        help="re-run model fit + bundle selection in every cell "
                             "(default: prepared once per device and shared)")
@@ -197,10 +216,34 @@ def _run_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_resume_source(args: argparse.Namespace):
+    """Where a ``--resume`` run reads prior outcomes from (None = fresh)."""
+    import pathlib
+
+    from repro.sweep import CHECKPOINT_FILENAME
+
+    if args.resume_from:
+        return args.resume_from
+    if not args.resume:
+        return None
+    if args.cache_dir is None:
+        raise ValueError(
+            "--resume needs --cache-dir (the checkpoint lives there) "
+            "or an explicit --from <checkpoint|result.json>"
+        )
+    checkpoint = pathlib.Path(args.cache_dir) / CHECKPOINT_FILENAME
+    if not checkpoint.exists():
+        # First run of a resumable pipeline: nothing to resume yet.
+        print(f"No checkpoint at {checkpoint}; starting a fresh sweep.")
+        return None
+    return str(checkpoint)
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepRunner, build_grid, compare
     from repro.utils.serialization import dump_json
 
+    resume_from = _resolve_resume_source(args)
     tasks = build_grid(
         args.devices,
         args.strategies,
@@ -219,8 +262,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         schedule=args.schedule,
         timeout_s=args.timeout_s,
+        timeout_scale=args.timeout_scale,
         retries=args.retries,
+        retry_backoff_s=args.retry_backoff_s,
         share_preparation=not args.per_cell_prep,
+        resume_from=resume_from,
     )
     result = runner.run()
     comparison = compare(result) if result.outcomes else None
@@ -265,7 +311,18 @@ def _run_cache(args: argparse.Namespace) -> int:
         f"{stats.total_bytes} bytes, {stats.corrupt_lines} corrupt lines, "
         f"{stats.duplicates} duplicates"
     )
-    if stats.corrupt_lines or stats.duplicates:
+    if stats.timing_entries:
+        print(f"Timing hints: {stats.timing_entries} cost hint(s) in _timings.json")
+    if stats.checkpoint_records or stats.checkpoint_corrupt_lines:
+        print(
+            f"Checkpoint: {stats.checkpoint_outcomes} completed, "
+            f"{stats.checkpoint_failures} failed cell(s) recorded"
+            + (
+                f", {stats.checkpoint_corrupt_lines} corrupt line(s)"
+                if stats.checkpoint_corrupt_lines else ""
+            )
+        )
+    if stats.corrupt_lines or stats.duplicates or stats.checkpoint_corrupt_lines:
         print("Hint: run 'repro-codesign cache gc --cache-dir ...' to repair and compact.")
     return 0
 

@@ -121,7 +121,17 @@ class FixedPointQuantizer:
         """Quantize to integers; returns ``(int_tensor, scale)``."""
         if scale is None:
             scale = self.scale_for(tensor)
-        q = np.clip(np.round(tensor / scale), self.qmin, self.qmax)
+        if scale <= 0.0 or not np.isfinite(scale):
+            scale = 1.0
+        values = np.asarray(tensor)
+        if np.issubdtype(values.dtype, np.floating) and values.dtype != np.float64 \
+                and scale < float(np.finfo(values.dtype).tiny):
+            # A scale below the tensor dtype's normal range (subnormal
+            # inputs) underflows to 0 when the division runs in that dtype,
+            # making it 0/0 = NaN -> INT32_MIN after the cast; only then is
+            # the float64 copy worth paying for on the quantization hot path.
+            values = values.astype(np.float64)
+        q = np.clip(np.round(values / scale), self.qmin, self.qmax)
         return q.astype(np.int32), scale
 
     def dequantize(self, q: np.ndarray, scale: float) -> np.ndarray:

@@ -17,6 +17,10 @@ limits at once:
   under the in-memory :class:`~repro.search.cache.EvaluationCache`, with
   :func:`compact_cache_dir` compaction / GC (dedup, corrupt-line repair,
   age and size eviction),
+* :mod:`repro.sweep.checkpoint` — incremental sweep checkpoint
+  (``_checkpoint.jsonl``, appended atomically as each cell settles) and
+  the timestamped ``_timings.json`` cost-hint sidecar; powers
+  ``SweepRunner(resume_from=...)`` / ``repro-codesign sweep --resume``,
 * :mod:`repro.sweep.compare` — :func:`compare`: journal-driven
   cross-strategy / cross-device report (text and JSON).
 
@@ -29,8 +33,24 @@ Quickstart::
                          timeout_s=300.0, retries=1).run()
     print(result.summary())          # includes any failed cells
     print(compare(result).render())
+
+    # A sweep that died mid-run restarts from its checkpoint and re-runs
+    # only the failed / missing cells (journals reused byte-identically):
+    result = SweepRunner(tasks, workers=4, cache_dir=".sweep-cache",
+                         resume_from=".sweep-cache/_checkpoint.jsonl").run()
 """
 
+from repro.sweep.checkpoint import (
+    CHECKPOINT_FILENAME,
+    CheckpointStatus,
+    CheckpointWriter,
+    compact_checkpoint,
+    compact_timings,
+    load_checkpoint,
+    load_timings,
+    save_timings,
+    scan_checkpoint,
+)
 from repro.sweep.compare import DeviceWinner, StrategySummary, SweepComparison, compare
 from repro.sweep.disk_cache import (
     CacheDirStats,
@@ -72,6 +92,15 @@ __all__ = [
     "cache_dir_stats",
     "coefficients_fingerprint",
     "compact_cache_dir",
+    "CHECKPOINT_FILENAME",
+    "CheckpointStatus",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "scan_checkpoint",
+    "compact_checkpoint",
+    "load_timings",
+    "save_timings",
+    "compact_timings",
     "SweepComparison",
     "StrategySummary",
     "DeviceWinner",

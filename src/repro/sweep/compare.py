@@ -144,6 +144,10 @@ class SweepComparison:
                     f", {self.totals['failed_tasks']} failed cells"
                     if self.totals.get("failed_tasks") else ""
                 )
+                + (
+                    f", {self.totals['reused_tasks']} reused cells"
+                    if self.totals.get("reused_tasks") else ""
+                )
             ),
         ]
         text = "\n\n".join(blocks)
@@ -164,11 +168,17 @@ def compare(outcomes: Sequence[SweepOutcome] | SweepResult) -> SweepComparison:
     """Build the cross-strategy / cross-device comparison report.
 
     Accepts a :class:`SweepResult` (failed cells are excluded from the
-    statistics but counted in the totals) or a plain outcome sequence.
+    statistics but counted in the totals, and checkpoint-reused cells are
+    surfaced in the totals) or a plain outcome sequence.  Because the
+    per-cell statistics are journal-driven and reused outcomes are
+    replayed verbatim, a resumed sweep's report is indistinguishable from
+    a single-shot run apart from the reused-cell count.
     """
     failed = 0
+    reused = 0
     if isinstance(outcomes, SweepResult):
         failed = len(outcomes.failures)
+        reused = outcomes.reused
         outcomes = outcomes.outcomes
     outcomes = list(outcomes)
     if not outcomes:
@@ -219,6 +229,7 @@ def compare(outcomes: Sequence[SweepOutcome] | SweepResult) -> SweepComparison:
     totals = {
         "tasks": len(outcomes),
         "failed_tasks": failed,
+        "reused_tasks": reused,
         "evaluations": sum(s.evaluations for s in strategies),
         "candidates": sum(s.candidates for s in strategies),
         "estimator_calls": sum(s.estimator_calls for s in strategies),

@@ -253,9 +253,13 @@ class CompactionReport:
     evicted_by_size: int
     bytes_before: int
     bytes_after: int
+    #: Stale / garbage ``_timings.json`` cost hints dropped.
+    timing_entries_pruned: int = 0
+    #: Superseded / corrupt / aged ``_checkpoint.jsonl`` records dropped.
+    checkpoint_records_pruned: int = 0
 
     def summary(self) -> str:
-        return (
+        line = (
             f"compaction: {self.shards_before} -> {self.shards_after} shards, "
             f"{self.entries_before} -> {self.entries_kept} entries "
             f"({self.duplicates_dropped} duplicates, "
@@ -263,6 +267,12 @@ class CompactionReport:
             f"{self.evicted_by_age} age-evicted, {self.evicted_by_size} size-evicted), "
             f"{self.bytes_before} -> {self.bytes_after} bytes"
         )
+        if self.timing_entries_pruned or self.checkpoint_records_pruned:
+            line += (
+                f"; sidecars: {self.timing_entries_pruned} timing hint(s) and "
+                f"{self.checkpoint_records_pruned} checkpoint record(s) pruned"
+            )
+        return line
 
 
 @dataclass(frozen=True)
@@ -289,10 +299,20 @@ class CacheDirStats:
     duplicates: int = 0
     total_shards: int = 0
     total_bytes: int = 0
+    #: Cost hints in the ``_timings.json`` sidecar (0 when absent).
+    timing_entries: int = 0
+    #: Settled cells currently recorded in ``_checkpoint.jsonl``.
+    checkpoint_outcomes: int = 0
+    checkpoint_failures: int = 0
+    checkpoint_corrupt_lines: int = 0
 
     @property
     def entries(self) -> int:
         return sum(ns.entries for ns in self.namespaces)
+
+    @property
+    def checkpoint_records(self) -> int:
+        return self.checkpoint_outcomes + self.checkpoint_failures
 
 
 def _scan_cache_dir(directory: pathlib.Path):
@@ -306,7 +326,12 @@ def _scan_cache_dir(directory: pathlib.Path):
     corrupt = 0
     duplicates = 0
     total_bytes = 0
-    shard_paths = sorted(directory.glob("*.jsonl"))
+    # Underscore-prefixed files are sidecars (checkpoint, timings tempfiles),
+    # not estimate shards: scanning them would misreport every checkpoint
+    # line as corrupt — and compaction would delete the file.
+    shard_paths = sorted(
+        path for path in directory.glob("*.jsonl") if not path.name.startswith("_")
+    )
     for path in shard_paths:
         try:
             mtime = path.stat().st_mtime
@@ -343,10 +368,25 @@ def _scan_cache_dir(directory: pathlib.Path):
     return records, corrupt, duplicates, total_bytes, shard_paths
 
 
+def _sidecar_stats(directory: pathlib.Path) -> tuple[int, int, int, int]:
+    """(timing entries, checkpoint outcomes, failures, corrupt lines).
+
+    Uses the cheap checkpoint scan — a stats command must not rebuild
+    every recorded journal just to count them.
+    """
+    from repro.sweep.checkpoint import CHECKPOINT_FILENAME, load_timings, scan_checkpoint
+    from repro.sweep.runner import TIMINGS_FILENAME
+
+    timing_entries = len(load_timings(directory / TIMINGS_FILENAME))
+    outcomes, failures, corrupt = scan_checkpoint(directory / CHECKPOINT_FILENAME)
+    return timing_entries, outcomes, failures, corrupt
+
+
 def cache_dir_stats(directory) -> CacheDirStats:
-    """Summarise a cache directory without modifying it."""
+    """Summarise a cache directory (sidecars included) without modifying it."""
     directory = pathlib.Path(directory)
     records, corrupt, duplicates, total_bytes, shard_paths = _scan_cache_dir(directory)
+    timing_entries, ck_outcomes, ck_failures, ck_corrupt = _sidecar_stats(directory)
     by_namespace: dict[str, dict] = {}
     for (namespace, _key), record in records.items():
         info = by_namespace.setdefault(namespace, {"entries": 0, "bytes": 0})
@@ -370,6 +410,10 @@ def cache_dir_stats(directory) -> CacheDirStats:
         duplicates=duplicates,
         total_shards=len(shard_paths),
         total_bytes=total_bytes,
+        timing_entries=timing_entries,
+        checkpoint_outcomes=ck_outcomes,
+        checkpoint_failures=ck_failures,
+        checkpoint_corrupt_lines=ck_corrupt,
     )
 
 
@@ -388,6 +432,11 @@ def compact_cache_dir(
     entries are evicted until the directory fits ``max_size_mb``.  Each
     namespace is rewritten as a single ``<prefix>--main.jsonl`` shard
     (atomically: temp file + rename), and stale shard files are removed.
+    The sidecars are pruned in the same pass: garbage and (under
+    ``max_age_days``) stale ``_timings.json`` cost hints of grids that no
+    longer run, plus superseded / corrupt / aged ``_checkpoint.jsonl``
+    records — without this, every grid ever swept against the directory
+    leaves its task uids behind forever.
 
     Run this offline — concurrent sweep writers appending to a shard being
     rewritten would lose their appends.
@@ -449,6 +498,20 @@ def compact_cache_dir(
             except OSError:  # pragma: no cover - already gone
                 pass
 
+    from repro.sweep.checkpoint import (
+        CHECKPOINT_FILENAME,
+        compact_checkpoint,
+        compact_timings,
+    )
+    from repro.sweep.runner import TIMINGS_FILENAME
+
+    _, timings_pruned = compact_timings(
+        directory / TIMINGS_FILENAME, max_age_days=max_age_days, now=now,
+    )
+    _, ck_pruned, ck_corrupt = compact_checkpoint(
+        directory / CHECKPOINT_FILENAME, max_age_days=max_age_days, now=now,
+    )
+
     report = CompactionReport(
         shards_before=len(shard_paths),
         shards_after=len(written),
@@ -460,6 +523,8 @@ def compact_cache_dir(
         evicted_by_size=evicted_size,
         bytes_before=bytes_before,
         bytes_after=bytes_after,
+        timing_entries_pruned=timings_pruned,
+        checkpoint_records_pruned=ck_pruned + ck_corrupt,
     )
     logger.info("%s", report.summary())
     return report

@@ -44,28 +44,40 @@ When a cache directory is given, every worker layers the persistent
 :class:`~repro.sweep.disk_cache.DiskEvaluationCache` under its in-memory
 cache, so repeated sweeps and re-runs skip estimator calls entirely.
 
+The cache directory also hosts two sidecars (see
+:mod:`repro.sweep.checkpoint`): an **incremental checkpoint**
+(``_checkpoint.jsonl``) the parent appends to the moment each cell
+settles, and the journal-timings cost model (``_timings.json``).  A sweep
+that dies mid-run — OOM, preemption, a poisoned cell exhausting its
+retries — is restarted with ``SweepRunner(resume_from=...)`` (CLI:
+``repro-codesign sweep --resume``): checkpointed outcomes are reused
+verbatim (byte-identical journals) and only the failed and missing cells
+re-execute.  Timing hints are also recorded for *failed* attempts, so a
+cell that keeps timing out carries its real cost into the next run, where
+the per-cell timeout scales with the hint (``timeout_s`` acts as a floor
+under ``timeout_scale x expected seconds``) and retries back off
+exponentially (deterministic, no jitter).
+
 Fault injection (tests / CI): the environment variables
 ``REPRO_SWEEP_FAIL_TASKS`` and ``REPRO_SWEEP_STALL_TASKS`` hold
-comma-separated task names; :func:`run_sweep_task` raises for the former
-and blocks for the latter, which lets a smoke test poison exactly one grid
-cell without patching code inside worker processes.
+comma-separated task names (or uids); :func:`run_sweep_task` raises for
+the former and blocks for the latter, which lets a smoke test poison
+exactly one grid cell without patching code inside worker processes.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import time
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence, Union
 
 from repro.hw.device import resolve_devices
 from repro.search import available_strategies
 from repro.utils.logging import get_logger
-from repro.utils.serialization import dump_json, to_jsonable
+from repro.utils.serialization import dump_json, load_json, to_jsonable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hw.analytical import AnalyticalModelCoefficients
@@ -82,6 +94,17 @@ STALL_TASKS_ENV = "REPRO_SWEEP_STALL_TASKS"
 
 def _env_task_names(variable: str) -> set[str]:
     return {part.strip() for part in os.environ.get(variable, "").split(",") if part.strip()}
+
+
+def _fields_payload(cls, payload: Mapping) -> dict:
+    """The subset of ``payload`` matching ``cls``'s dataclass fields.
+
+    Round-tripped records carry a ``__type__`` tag (and possibly fields
+    from a newer format version); both are dropped instead of breaking
+    reconstruction.
+    """
+    names = {f.name for f in dataclass_fields(cls)}
+    return {key: value for key, value in payload.items() if key in names}
 
 
 @dataclass(frozen=True)
@@ -106,12 +129,42 @@ class SweepTask:
 
     @property
     def name(self) -> str:
+        """Short display name: the grid axes a human sweeps over.
+
+        Deliberately *not* unique across search budgets — two cells
+        differing only in ``iterations`` or ``seed`` share a name.  Every
+        persistent keying (timings, disk-cache shards, checkpoints) uses
+        :attr:`uid` instead.
+        """
         name = f"{self.device}-{self.strategy}-{self.fps:g}fps"
         if self.clock_mhz is not None:
             name += f"-{self.clock_mhz:g}MHz"
         if self.utilization != 1.0:
             name += f"-u{self.utilization:g}"
         return name
+
+    @property
+    def uid(self) -> str:
+        """Fully qualified cell identity: :attr:`name` plus the budget.
+
+        Folds in every remaining field (``tolerance_ms``, ``iterations``,
+        ``num_candidates``, ``top_bundles``, ``seed``) so tasks that
+        differ *only* in those can never alias each other in the
+        ``_timings.json`` cost hints, the disk-cache shard names, or the
+        checkpoint records.
+        """
+        return (
+            f"{self.name}-t{self.tolerance_ms:g}-i{self.iterations}"
+            f"-c{self.num_candidates}-b{self.top_bundles}-s{self.seed}"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepTask":
+        """Rebuild a task from its JSON view (``to_jsonable`` round trip)."""
+        data = _fields_payload(cls, payload)
+        if data.get("clock_mhz") is not None:
+            data["clock_mhz"] = float(data["clock_mhz"])
+        return cls(**data)
 
     @property
     def prep_key(self) -> tuple:
@@ -346,6 +399,24 @@ class SweepOutcome:
         total = self.disk_hits + self.disk_misses
         return self.disk_hits / total if total else 0.0
 
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepOutcome":
+        """Rebuild an outcome from its JSON view, journal included.
+
+        The journal is already pure-JSON at creation time (see
+        :func:`run_sweep_task`), so a load -> dump round trip is
+        byte-identical — the property checkpoint/resume relies on.
+        """
+        data = _fields_payload(cls, payload)
+        task = data.get("task")
+        if not isinstance(task, Mapping):
+            raise ValueError("outcome record is missing its task")
+        data["task"] = SweepTask.from_dict(task)
+        if not isinstance(data.get("journal"), dict):
+            raise ValueError("outcome record is missing its journal")
+        data["selected_bundles"] = [int(b) for b in data.get("selected_bundles", [])]
+        return cls(**data)
+
     def summary(self) -> str:
         gap = f"{self.best_gap_ms:.2f} ms gap" if self.best_gap_ms is not None else "no candidate"
         line = (
@@ -385,6 +456,16 @@ class SweepFailure:
             "duration_s": self.duration_s,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepFailure":
+        """Rebuild a failure record from its JSON view."""
+        data = _fields_payload(cls, payload)
+        task = data.get("task")
+        if not isinstance(task, Mapping):
+            raise ValueError("failure record is missing its task")
+        data["task"] = SweepTask.from_dict(task)
+        return cls(**data)
+
 
 def run_sweep_task(
     task: SweepTask,
@@ -405,9 +486,11 @@ def run_sweep_task(
     from repro.search import EvaluationCache, SearchSession
     from repro.sweep.disk_cache import DiskEvaluationCache, coefficients_fingerprint
 
-    if task.name in _env_task_names(FAIL_TASKS_ENV):
+    fail_names = _env_task_names(FAIL_TASKS_ENV)
+    if task.name in fail_names or task.uid in fail_names:
         raise RuntimeError(f"injected failure for task {task.name}")
-    if task.name in _env_task_names(STALL_TASKS_ENV):
+    stall_names = _env_task_names(STALL_TASKS_ENV)
+    if task.name in stall_names or task.uid in stall_names:
         time.sleep(3600.0)  # simulates a hung cell; killed by the scheduler
 
     start = time.perf_counter()
@@ -437,7 +520,9 @@ def run_sweep_task(
             device=device.name,
             clock_mhz=flow.auto_hls.clock_mhz,
             context=coefficients_fingerprint(flow.auto_hls.coefficients),
-            shard=task.name,
+            # Shards are uid-keyed: two cells differing only in the search
+            # budget or seed must not append to the same shard file.
+            shard=task.uid,
         )
         flow.attach_evaluation_cache(EvaluationCache(disk))
 
@@ -486,17 +571,19 @@ def run_sweep_task(
 def expected_cost(task: SweepTask, hints: Optional[Mapping[str, float]] = None) -> float:
     """Expected wall-clock cost of one cell, for longest-expected-first order.
 
-    Prior journal timings (``hints``, keyed by task name) win when present;
-    otherwise a deterministic budget heuristic — evaluation budget scaled
-    by the candidate count — keeps the ordering stable across runs.
+    Prior journal timings (``hints``, keyed by task uid, with the display
+    name accepted as a legacy fallback) win when present; otherwise a
+    deterministic budget heuristic — evaluation budget scaled by the
+    candidate count — keeps the ordering stable across runs.
     """
     if hints:
-        hinted = hints.get(task.name)
-        if hinted is not None:
-            try:
-                return float(hinted)
-            except (TypeError, ValueError):
-                pass
+        for key in (task.uid, task.name):
+            hinted = hints.get(key)
+            if hinted is not None:
+                try:
+                    return float(hinted)
+                except (TypeError, ValueError):
+                    continue
     return float(task.iterations * task.num_candidates * task.top_bundles)
 
 
@@ -512,6 +599,8 @@ class SweepResult:
     schedule: str = "steal"
     preparations: list[PreparedDevice] = field(default_factory=list)
     prep_time_s: float = 0.0
+    #: Cells reused verbatim from a checkpoint / prior result (resume).
+    reused: int = 0
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -531,6 +620,8 @@ class SweepResult:
             f"Sweep: {len(self.outcomes)} tasks on {mode}, "
             f"{self.estimator_calls} estimator calls, {self.wall_time_s:.2f}s wall"
         )
+        if self.reused:
+            header += f" ({self.reused} reused from checkpoint)"
         if self.preparations:
             header += f" ({len(self.preparations)} shared preparations, {self.prep_time_s:.2f}s)"
         if self.failures:
@@ -547,6 +638,7 @@ class SweepResult:
             "cache_dir": self.cache_dir,
             "wall_time_s": self.wall_time_s,
             "prep_time_s": self.prep_time_s,
+            "reused": self.reused,
             "preparations": [prep.as_dict() for prep in self.preparations],
             "outcomes": [to_jsonable(outcome) for outcome in self.outcomes],
             "failures": [failure.as_dict() for failure in self.failures],
@@ -555,6 +647,52 @@ class SweepResult:
     def save(self, path):
         """Write the result (journals included) as deterministic JSON."""
         return dump_json(self.as_dict(), path)
+
+    @classmethod
+    def load(cls, path) -> "SweepResult":
+        """Load a result previously written by :meth:`save`.
+
+        Outcomes and failures round-trip fully (journals included) and the
+        loaded result can seed ``SweepRunner(resume_from=...)``.  Also
+        accepts the ``{"sweep": ..., "comparison": ...}`` report files the
+        CLI writes.  ``preparations`` are *not* reconstructed: the fitted
+        coefficients are pickle-only and deliberately excluded from the
+        JSON view.
+        """
+        payload = load_json(path)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path} does not contain a sweep result")
+        if "outcomes" not in payload and isinstance(payload.get("sweep"), dict):
+            payload = payload["sweep"]
+        if not isinstance(payload.get("outcomes"), list):
+            raise ValueError(f"{path} does not contain a sweep result")
+        return cls(
+            outcomes=[SweepOutcome.from_dict(o) for o in payload["outcomes"]],
+            workers=int(payload.get("workers", 1)),
+            cache_dir=payload.get("cache_dir"),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            failures=[SweepFailure.from_dict(f) for f in payload.get("failures", [])],
+            schedule=str(payload.get("schedule", "steal")),
+            prep_time_s=float(payload.get("prep_time_s", 0.0)),
+            reused=int(payload.get("reused", 0)),
+        )
+
+
+def _timed_call(task_fn, task, cache_dir, prepared) -> tuple:
+    """Pool-side wrapper: run one cell and report its wall-clock either way.
+
+    The chunked schedule cannot observe per-cell timing from the parent (a
+    pool future's latency includes queue wait), and a raised exception
+    carries no duration — so the worker measures it and ships
+    ``("ok", value, seconds)`` or ``("error", message, seconds)`` back.
+    Module-level so it pickles under any start method.
+    """
+    start = time.perf_counter()
+    try:
+        value = task_fn(task, cache_dir, prepared)
+    except Exception as exc:  # noqa: BLE001 - converted to a record
+        return ("error", f"{type(exc).__name__}: {exc}", time.perf_counter() - start)
+    return ("ok", value, time.perf_counter() - start)
 
 
 def _dispatch_worker(conn, task_fn, task, cache_dir, prepared) -> None:
@@ -603,14 +741,35 @@ class SweepRunner:
       worker, so combining it with ``timeout_s`` is rejected.
 
     Preparation (model fit + bundle selection) runs once per unique
-    :attr:`SweepTask.prep_key` in the parent and is shipped to workers (see
-    :class:`PreparedDevice`); pass ``share_preparation=False`` to restore
-    the per-cell behaviour.  Results are collected in task order in every
-    mode, and each task's journal is independent of the execution mode, so
-    all modes are interchangeable.
+    :attr:`SweepTask.prep_key` — fanned across a process pool when
+    ``workers > 1`` and several preparations are needed — and is shipped
+    to workers (see :class:`PreparedDevice`); pass
+    ``share_preparation=False`` to restore the per-cell behaviour.
+    Results are collected in task order in every mode, and each task's
+    journal is independent of the execution mode, so all modes are
+    interchangeable.
+
+    ``resume_from`` accepts a checkpoint file (``_checkpoint.jsonl``), a
+    saved result JSON (:meth:`SweepResult.save`, or the CLI's report
+    file) or an in-memory :class:`SweepResult`: cells with a recorded
+    outcome are reused verbatim and only the failed / missing cells
+    execute.  ``retry_backoff_s`` is the base of the deterministic
+    exponential retry backoff (0 disables it); ``timeout_scale`` scales
+    the per-cell timeout from the cell's recorded cost hint, with
+    ``timeout_s`` as the floor.
     """
 
     SCHEDULES = ("steal", "chunked")
+
+    #: Upper bound on one exponential retry-backoff delay (seconds).
+    MAX_BACKOFF_S = 60.0
+
+    #: Ceiling on hint-scaled timeouts, as a multiple of ``timeout_s``.
+    #: A permanently stuck cell records ~its own timeout as the cost hint,
+    #: so an uncapped ``timeout_scale x hint`` would grow geometrically
+    #: across resumed runs; cells genuinely slower than this ceiling need a
+    #: larger ``timeout_s``, not an unbounded one.
+    MAX_TIMEOUT_GROWTH = 10.0
 
     def __init__(
         self,
@@ -620,9 +779,12 @@ class SweepRunner:
         *,
         schedule: str = "steal",
         timeout_s: Optional[float] = None,
+        timeout_scale: float = 3.0,
         retries: int = 1,
+        retry_backoff_s: float = 0.1,
         cost_hints: Optional[Mapping[str, float]] = None,
         share_preparation: bool = True,
+        resume_from: Union[str, pathlib.Path, SweepResult, None] = None,
         task_fn: Callable[..., SweepOutcome] = run_sweep_task,
     ) -> None:
         if not tasks:
@@ -633,22 +795,42 @@ class SweepRunner:
             raise ValueError(f"schedule must be one of {self.SCHEDULES}, got '{schedule}'")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if timeout_scale <= 0:
+            raise ValueError("timeout_scale must be positive")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         if schedule == "chunked" and timeout_s is not None:
             raise ValueError(
                 "per-task timeouts require the work-stealing schedule "
                 "(a chunked pool cannot kill a stuck worker)"
             )
+        seen: set[str] = set()
+        for task in tasks:
+            if task.uid in seen:
+                raise ValueError(
+                    f"duplicate sweep task '{task.uid}': identical cells would "
+                    "race on the same cache shard, timing hint and checkpoint record"
+                )
+            seen.add(task.uid)
         self.tasks = list(tasks)
         self.workers = workers
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.schedule = schedule
         self.timeout_s = timeout_s
+        self.timeout_scale = timeout_scale
         self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
         self.cost_hints = dict(cost_hints) if cost_hints else None
         self.share_preparation = share_preparation
+        self.resume_from = resume_from
         self.task_fn = task_fn
+        # Per-run state (filled by run()): effective per-index timeouts, the
+        # incremental checkpoint writer and the parsed resume source.
+        self._timeouts: dict[int, Optional[float]] = {}
+        self._writer = None
+        self._resume_checkpoint: Optional[tuple[pathlib.Path, set[str]]] = None
 
     # ------------------------------------------------------------ cost hints
     def _timings_path(self) -> Optional[pathlib.Path]:
@@ -659,73 +841,226 @@ class SweepRunner:
     def _load_cost_hints(self) -> dict[str, float]:
         hints: dict[str, float] = {}
         path = self._timings_path()
-        if path is not None and path.exists():
-            try:
-                payload = json.loads(path.read_text())
-                if isinstance(payload, dict):
-                    hints.update({
-                        str(name): float(value)
-                        for name, value in payload.items()
-                        if isinstance(value, (int, float))
-                    })
-            except (OSError, ValueError):
-                logger.warning("ignoring unreadable timings file %s", path)
+        if path is not None:
+            from repro.sweep.checkpoint import load_timings
+
+            hints.update(load_timings(path))
         if self.cost_hints:
-            hints.update(self.cost_hints)
+            hints.update({
+                str(name): float(value)
+                for name, value in self.cost_hints.items()
+                if isinstance(value, (int, float))
+            })
         return hints
 
-    def _save_timings(self, outcomes: Sequence[SweepOutcome]) -> None:
+    def _save_timings(
+        self,
+        outcomes: Sequence[SweepOutcome],
+        failures: Sequence[SweepFailure] = (),
+    ) -> None:
+        """Persist per-cell durations — including *failed* attempts.
+
+        A cell that keeps timing out used to carry no hint at all and kept
+        being scheduled (and timed out) as if it were cheap; recording the
+        wall-clock spent per attempt lets the next run dispatch it first
+        and scale its timeout up (see :meth:`_effective_timeout`).
+        """
         path = self._timings_path()
-        if path is None or not outcomes:
+        if path is None:
             return
-        merged: dict[str, float] = {}
-        if path.exists():
-            try:
-                payload = json.loads(path.read_text())
-                if isinstance(payload, dict):
-                    merged.update(payload)
-            except (OSError, ValueError):
-                pass
-        merged.update({o.task.name: round(o.duration_s, 6) for o in outcomes})
-        tmp = path.with_suffix(".json.tmp")
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(merged, sort_keys=True, indent=0) + "\n")
-            os.replace(tmp, path)
-        except OSError:  # pragma: no cover - best-effort persistence
-            logger.warning("could not persist sweep timings to %s", path)
+        durations = {o.task.uid: o.duration_s for o in outcomes}
+        for failure in failures:
+            if failure.duration_s > 0 and failure.attempts > 0:
+                durations[failure.task.uid] = failure.duration_s / failure.attempts
+        if not durations:
+            return
+        from repro.sweep.checkpoint import save_timings
+
+        save_timings(path, durations)
+
+    # ------------------------------------------------------- adaptive knobs
+    def _effective_timeout(self, task: SweepTask, hints: Mapping[str, float]) -> Optional[float]:
+        """Per-cell timeout: ``timeout_s`` floor, scaled from the cost hint.
+
+        A flat per-sweep timeout punishes legitimately slow cells and
+        wastes hours on cheap stuck ones.  When a real recorded duration
+        exists for the cell, the effective timeout is
+        ``max(timeout_s, timeout_scale * hint)``, capped at
+        ``timeout_s * MAX_TIMEOUT_GROWTH``; the heuristic fallback of
+        :func:`expected_cost` is *not* used here — it is a unitless budget,
+        not seconds.
+        """
+        if self.timeout_s is None:
+            return None
+        hinted = hints.get(task.uid, hints.get(task.name))
+        if isinstance(hinted, (int, float)) and not isinstance(hinted, bool) and hinted > 0:
+            return min(
+                max(self.timeout_s, self.timeout_scale * float(hinted)),
+                self.timeout_s * self.MAX_TIMEOUT_GROWTH,
+            )
+        return self.timeout_s
+
+    def _backoff_delay(self, failed_attempts: int) -> float:
+        """Deterministic exponential backoff before retry N (no jitter)."""
+        if self.retry_backoff_s <= 0 or failed_attempts <= 0:
+            return 0.0
+        return min(self.retry_backoff_s * (2.0 ** (failed_attempts - 1)),
+                   self.MAX_BACKOFF_S)
+
+    # ------------------------------------------------------- resume support
+    def _load_resume(self) -> dict[int, SweepOutcome]:
+        """Map grid indices to checkpointed outcomes reused verbatim.
+
+        Records whose uid is not in the current grid (the checkpoint
+        belongs to a different / edited grid) are ignored with a warning;
+        prior *failures* are never reused — those cells re-run.
+        """
+        self._resume_checkpoint = None
+        if self.resume_from is None:
+            return {}
+        if isinstance(self.resume_from, SweepResult):
+            prior = {o.task.uid: o for o in self.resume_from.outcomes}
+        else:
+            path = pathlib.Path(self.resume_from)
+            if not path.exists():
+                raise FileNotFoundError(f"resume source {path} does not exist")
+            if path.suffix == ".jsonl":
+                from repro.sweep.checkpoint import load_checkpoint
+
+                status = load_checkpoint(path)
+                prior = dict(status.outcomes)
+                if status.grid and set(status.grid) != {t.uid for t in self.tasks}:
+                    logger.warning(
+                        "resume: checkpoint %s was written for a different grid "
+                        "(%d recorded vs %d current cells); only matching cells "
+                        "are reused", path, len(status.grid), len(self.tasks),
+                    )
+                # Remember what the file holds so _open_checkpoint need not
+                # parse it a second time when it is this run's checkpoint.
+                self._resume_checkpoint = (path.resolve(), set(prior))
+            else:
+                prior = {o.task.uid: o for o in SweepResult.load(path).outcomes}
+        by_uid = {task.uid: index for index, task in enumerate(self.tasks)}
+        reused: dict[int, SweepOutcome] = {}
+        unknown = 0
+        for uid, outcome in prior.items():
+            index = by_uid.get(uid)
+            if index is None:
+                unknown += 1
+            else:
+                reused[index] = outcome
+        if unknown:
+            logger.warning(
+                "resume: ignoring %d recorded cell(s) not in the current grid "
+                "(grid changed since the checkpoint was written)", unknown,
+            )
+        if reused:
+            logger.info("resume: reusing %d/%d checkpointed cell(s)",
+                        len(reused), len(self.tasks))
+        return reused
+
+    def _open_checkpoint(self, reused: Mapping[int, SweepOutcome]):
+        """Start (or continue) the incremental checkpoint for this run."""
+        if self.cache_dir is None:
+            return None
+        from repro.sweep.checkpoint import CHECKPOINT_FILENAME, CheckpointWriter
+
+        path = pathlib.Path(self.cache_dir) / CHECKPOINT_FILENAME
+        recorded = None
+        if self._resume_checkpoint is not None \
+                and self._resume_checkpoint[0] == path.resolve():
+            recorded = self._resume_checkpoint[1]
+        writer = CheckpointWriter(
+            path,
+            grid=[task.uid for task in self.tasks],
+            fresh=self.resume_from is None,
+            recorded=recorded,
+        )
+        # A resume seeded from a result JSON (or an in-memory result) may
+        # target a cache dir whose checkpoint lacks the reused cells; back
+        # them in so this run's checkpoint is itself complete and resumable.
+        for outcome in reused.values():
+            if not writer.has_outcome(outcome.task.uid):
+                writer.record_outcome(outcome)
+        return writer
+
+    def _settled_outcome(self, outcome: SweepOutcome) -> None:
+        if self._writer is not None:
+            self._writer.record_outcome(outcome)
+
+    def _settled_failure(self, failure: SweepFailure) -> None:
+        if self._writer is not None:
+            self._writer.record_failure(failure)
+
+    # ----------------------------------------------------------- preparation
+    def _prepare_devices(self, tasks: Sequence[SweepTask]) -> dict[tuple, PreparedDevice]:
+        """One :func:`prepare_device` per unique prep key, pooled when useful.
+
+        With several distinct preparation cells and a multi-worker budget,
+        the (CPU-bound, independent) model fits fan out across a process
+        pool instead of running serially in the parent; the artifacts come
+        back bit-exact because they are pickled, not re-derived.
+        """
+        unique: dict[tuple, SweepTask] = {}
+        for task in tasks:
+            unique.setdefault(task.prep_key, task)
+        if self.workers > 1 and len(unique) > 1:
+            representatives = list(unique.values())
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(representatives))
+            ) as pool:
+                artifacts = list(pool.map(prepare_device, representatives))
+            return dict(zip(unique.keys(), artifacts))
+        return {key: prepare_device(task) for key, task in unique.items()}
 
     # ------------------------------------------------------------- execution
     def run(self) -> SweepResult:
         start = time.perf_counter()
 
+        reused = self._load_resume()
+        to_run = [i for i in range(len(self.tasks)) if i not in reused]
+
         preparations: dict[tuple, PreparedDevice] = {}
-        if self.share_preparation:
-            for task in self.tasks:
-                if task.prep_key not in preparations:
-                    preparations[task.prep_key] = prepare_device(task)
+        if self.share_preparation and to_run:
+            preparations = self._prepare_devices([self.tasks[i] for i in to_run])
         prep_time = time.perf_counter() - start
 
         hints = self._load_cost_hints()
+        self._timeouts = {
+            index: self._effective_timeout(self.tasks[index], hints)
+            for index in to_run
+        }
         order = sorted(
-            range(len(self.tasks)),
+            to_run,
             key=lambda index: (-expected_cost(self.tasks[index], hints), index),
         )
 
-        if self.workers == 1 and self.timeout_s is None:
-            outcomes_by_index, failures_by_index = self._run_serial(preparations)
-        elif self.schedule == "chunked":
-            outcomes_by_index, failures_by_index = self._run_chunked(preparations)
-        else:
-            outcomes_by_index, failures_by_index = self._run_stealing(order, preparations)
+        self._writer = self._open_checkpoint(reused)
+        try:
+            if not to_run:
+                outcomes_by_index: dict[int, SweepOutcome] = {}
+                failures_by_index: dict[int, SweepFailure] = {}
+            elif self.workers == 1 and self.timeout_s is None:
+                outcomes_by_index, failures_by_index = self._run_serial(to_run, preparations)
+            elif self.schedule == "chunked":
+                outcomes_by_index, failures_by_index = self._run_chunked(to_run, preparations)
+            else:
+                outcomes_by_index, failures_by_index = self._run_stealing(order, preparations)
+        finally:
+            self._writer = None
 
-        outcomes = [outcomes_by_index[i] for i in sorted(outcomes_by_index)]
+        executed = [outcomes_by_index[i] for i in sorted(outcomes_by_index)]
         failures = [failures_by_index[i] for i in sorted(failures_by_index)]
-        self._save_timings(outcomes)
+        # Reused outcomes re-persist their recorded durations: an
+        # interrupted sweep never reached _save_timings, so without this a
+        # resume would leave every reused cell hint-less next run.
+        self._save_timings(executed + list(reused.values()), failures)
+        outcomes_by_index.update(reused)
+        outcomes = [outcomes_by_index[i] for i in sorted(outcomes_by_index)]
         wall = time.perf_counter() - start
         logger.info(
-            "sweep finished: %d/%d tasks in %.2fs (%d failed)",
-            len(outcomes), len(self.tasks), wall, len(failures),
+            "sweep finished: %d/%d tasks in %.2fs (%d failed, %d reused)",
+            len(outcomes), len(self.tasks), wall, len(failures), len(reused),
         )
         return SweepResult(
             outcomes=outcomes,
@@ -736,6 +1071,7 @@ class SweepRunner:
             schedule=self.schedule,
             preparations=list(preparations.values()),
             prep_time_s=prep_time,
+            reused=len(reused),
         )
 
     def _prepared_for(
@@ -752,13 +1088,16 @@ class SweepRunner:
             f"worker returned {type(value).__name__!s} instead of SweepOutcome",
         )
 
-    def _run_serial(self, preparations):
+    def _run_serial(self, indices, preparations):
         """In-process execution (workers=1, no timeout): retry on raise."""
         outcomes: dict[int, SweepOutcome] = {}
         failures: dict[int, SweepFailure] = {}
-        for index, task in enumerate(self.tasks):
+        for index in indices:
+            task = self.tasks[index]
             elapsed = 0.0
             for attempt in range(1, self.retries + 2):
+                if attempt > 1:
+                    time.sleep(self._backoff_delay(attempt - 1))
                 attempt_start = time.perf_counter()
                 try:
                     value = self.task_fn(task, self.cache_dir,
@@ -772,44 +1111,56 @@ class SweepRunner:
                     if outcome is not None:
                         outcome.attempts = attempt
                         outcomes[index] = outcome
+                        self._settled_outcome(outcome)
                         break
                 if attempt > self.retries:
                     failures[index] = SweepFailure(
                         task=task, kind=verdict[0], error=verdict[1],
                         attempts=attempt, duration_s=elapsed,
                     )
+                    self._settled_failure(failures[index])
                 else:
                     logger.warning("task %s attempt %d failed (%s); retrying",
                                    task.name, attempt, verdict[1])
         return outcomes, failures
 
-    def _run_chunked(self, preparations):
+    def _run_chunked(self, indices, preparations):
         """Static chunked process-pool map (no timeout enforcement)."""
         from concurrent.futures.process import BrokenProcessPool
 
         outcomes: dict[int, SweepOutcome] = {}
         failures: dict[int, SweepFailure] = {}
-        attempts = dict.fromkeys(range(len(self.tasks)), 0)
-        remaining = list(range(len(self.tasks)))
+        attempts = dict.fromkeys(indices, 0)
+        spent = dict.fromkeys(indices, 0.0)
+        remaining = list(indices)
+        rounds_done = 0
         while remaining:
+            if rounds_done:  # a retry round: deterministic exponential backoff
+                time.sleep(self._backoff_delay(rounds_done))
+            rounds_done += 1
             # Fresh pool per round: a worker that dies hard (segfault,
             # OOM-kill) breaks the whole executor, and a broken pool rejects
             # further submits — the retry round must not inherit it.
             broken: list[int] = []
             with ProcessPoolExecutor(max_workers=min(self.workers, len(remaining))) as pool:
                 futures = {
-                    index: pool.submit(
-                        self.task_fn, self.tasks[index], self.cache_dir,
+                    pool.submit(
+                        _timed_call, self.task_fn, self.tasks[index], self.cache_dir,
                         self._prepared_for(self.tasks[index], preparations),
-                    )
+                    ): index
                     for index in remaining
                 }
                 next_round: list[int] = []
-                for index, future in futures.items():
+                # Consume in completion order, not submission order: the
+                # checkpoint must record each cell the moment it settles,
+                # or a kill while one slow cell blocks the loop would lose
+                # every finished-but-unconsumed cell.
+                for future in as_completed(futures):
+                    index = futures[future]
                     task = self.tasks[index]
                     attempts[index] += 1
                     try:
-                        value = future.result()
+                        status, value, duration = future.result()
                     except BrokenProcessPool:
                         # One dying worker poisons every in-flight future of
                         # the pool; the blame cannot be attributed here, so
@@ -818,14 +1169,18 @@ class SweepRunner:
                         attempts[index] -= 1
                         broken.append(index)
                         continue
-                    except Exception as exc:  # noqa: BLE001 - becomes a record
-                        verdict = ("error", f"{type(exc).__name__}: {exc}")
-                        outcome = None
-                    else:
+                    except Exception as exc:  # unpicklable result, pool error
+                        status, value, duration = \
+                            "error", f"{type(exc).__name__}: {exc}", 0.0
+                    spent[index] += duration
+                    if status == "ok":
                         outcome, verdict = self._classify(value)
+                    else:
+                        outcome, verdict = None, ("error", str(value))
                     if outcome is not None:
                         outcome.attempts = attempts[index]
                         outcomes[index] = outcome
+                        self._settled_outcome(outcome)
                     elif attempts[index] <= self.retries:
                         logger.warning("task %s attempt %d failed (%s); retrying",
                                        task.name, attempts[index], verdict[1])
@@ -833,9 +1188,10 @@ class SweepRunner:
                     else:
                         failures[index] = SweepFailure(
                             task=task, kind=verdict[0], error=verdict[1],
-                            attempts=attempts[index],
+                            attempts=attempts[index], duration_s=spent[index],
                         )
-                remaining = next_round
+                        self._settled_failure(failures[index])
+                remaining = sorted(next_round)
             if broken:
                 # Per-task process isolation attributes the crash to the
                 # actual culprit instead of failing innocent cells.
@@ -845,45 +1201,56 @@ class SweepRunner:
                     "cell(s) in per-task processes", len(unresolved),
                 )
                 iso_outcomes, iso_failures = self._run_stealing(
-                    unresolved, preparations, attempts=attempts,
+                    unresolved, preparations, attempts=attempts, spent=spent,
                 )
                 outcomes.update(iso_outcomes)
                 failures.update(iso_failures)
                 break
         return outcomes, failures
 
-    def _run_stealing(self, order, preparations, attempts=None):
+    def _run_stealing(self, order, preparations, attempts=None, spent=None):
         """Cost-ordered work-stealing pool with timeout kill and retry.
 
         ``order`` lists the task indices to run (dispatch order);
-        ``attempts`` optionally carries attempt counts already consumed
-        (used when the chunked schedule degrades to isolated dispatch).
+        ``attempts`` and ``spent`` optionally carry attempt counts and
+        wall-clock already consumed (used when the chunked schedule
+        degrades to isolated dispatch — losing them would undercount the
+        failure records and the persisted cost hints).  Retried cells
+        re-enter the queue after a deterministic exponential backoff, and
+        each cell runs under its own effective timeout (``timeout_s``
+        floor, scaled from the recorded cost hint).
         """
         import multiprocessing
         from multiprocessing import connection as mp_connection
 
         ctx = multiprocessing.get_context()
-        pending = deque(order)
+        pending = list(order)
         if attempts is None:
-            attempts = dict.fromkeys(range(len(self.tasks)), 0)
-        spent = dict.fromkeys(range(len(self.tasks)), 0.0)
+            attempts = dict.fromkeys(order, 0)
+        if spent is None:
+            spent = dict.fromkeys(order, 0.0)
+        ready_at: dict[int, float] = {}
         running: dict[int, _Attempt] = {}
         outcomes: dict[int, SweepOutcome] = {}
         failures: dict[int, SweepFailure] = {}
         max_slots = min(self.workers, len(order))
 
         def settle(index: int, verdict: tuple[str, str]) -> None:
-            """Retry the cell or convert the verdict into a failure record."""
+            """Retry the cell (after backoff) or record the failure."""
             task = self.tasks[index]
             if attempts[index] <= self.retries:
                 logger.warning("task %s attempt %d failed (%s); retrying",
                                task.name, attempts[index], verdict[1])
+                delay = self._backoff_delay(attempts[index])
+                if delay > 0:
+                    ready_at[index] = time.monotonic() + delay
                 pending.append(index)
             else:
                 failures[index] = SweepFailure(
                     task=task, kind=verdict[0], error=verdict[1],
                     attempts=attempts[index], duration_s=spent[index],
                 )
+                self._settled_failure(failures[index])
 
         def reap(index: int) -> _Attempt:
             state = running.pop(index)
@@ -893,8 +1260,17 @@ class SweepRunner:
 
         try:
             while pending or running:
+                now = time.monotonic()
                 while pending and len(running) < max_slots:
-                    index = pending.popleft()
+                    # First queued cell whose backoff window has passed.
+                    position = next(
+                        (p for p, i in enumerate(pending)
+                         if ready_at.get(i, 0.0) <= now),
+                        None,
+                    )
+                    if position is None:
+                        break
+                    index = pending.pop(position)
                     attempts[index] += 1
                     task = self.tasks[index]
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -908,16 +1284,29 @@ class SweepRunner:
                     child_conn.close()
                     running[index] = _Attempt(process, parent_conn, attempts[index])
 
-                # Without a timeout there is nothing to poll for: block until
-                # a worker reports (or dies, which EOFs its pipe).
+                backing_off = [i for i in pending if ready_at.get(i, 0.0) > now]
+                if not running:
+                    # Every queued cell is inside its backoff window: sleep to
+                    # the earliest release instead of spinning.
+                    soonest = min(ready_at[i] for i in backing_off)
+                    time.sleep(max(min(soonest - now, 1.0), 0.005))
+                    continue
+
+                # Without a timeout (and with no backoff release to watch for)
+                # there is nothing to poll: block until a worker reports (or
+                # dies, which EOFs its pipe).
+                poll = self.timeout_s is not None or (
+                    backing_off and len(running) < max_slots
+                )
                 ready = mp_connection.wait(
                     [state.conn for state in running.values()],
-                    timeout=0.05 if self.timeout_s is not None else None,
+                    timeout=0.05 if poll else None,
                 )
                 ready_set = set(ready)
                 now = time.monotonic()
                 for index in list(running):
                     state = running[index]
+                    limit = self._timeouts.get(index, self.timeout_s)
                     # Re-poll before any timeout verdict: a result that
                     # landed after the wait() snapshot must win over the
                     # deadline, or a completed cell would be killed and
@@ -936,11 +1325,12 @@ class SweepRunner:
                             if outcome is not None:
                                 outcome.attempts = attempts[index]
                                 outcomes[index] = outcome
+                                self._settled_outcome(outcome)
                             else:
                                 settle(index, verdict)
                         else:
                             settle(index, ("error", str(value)))
-                    elif self.timeout_s is not None and now - state.started > self.timeout_s:
+                    elif limit is not None and now - state.started > limit:
                         state.process.terminate()
                         state.process.join(timeout=1.0)
                         if state.process.is_alive():  # pragma: no cover - hard kill
@@ -949,7 +1339,7 @@ class SweepRunner:
                         reap(index)
                         settle(index, (
                             "timeout",
-                            f"exceeded the {self.timeout_s:g}s per-task timeout",
+                            f"exceeded the {limit:g}s per-task timeout",
                         ))
         finally:
             for state in running.values():  # pragma: no cover - crash cleanup

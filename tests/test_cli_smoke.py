@@ -112,6 +112,48 @@ class TestCommandRuns:
         assert "PYNQ-Z1-random-40fps: FAILED (error)" in out
         assert "Per-strategy comparison" in out, "survivors are still compared"
 
+    def test_sweep_poisoned_then_resume_completes(self, tmp_path, capsys, monkeypatch):
+        """The checkpoint/resume acceptance flow at the CLI level: a failed
+        sweep exits 1, the resumed run re-executes only the failed cell,
+        exits 0 and still renders a complete comparison."""
+        from repro.sweep.runner import FAIL_TASKS_ENV
+
+        cache_dir = tmp_path / "cache"
+        argv = ["sweep", "--devices", "pynq-z1", "--strategies", "scd,random",
+                "--retries", "0", "--retry-backoff-s", "0",
+                "--cache-dir", str(cache_dir)] + BUDGET
+        monkeypatch.setenv(FAIL_TASKS_ENV, "PYNQ-Z1-random-40fps")
+        assert main(argv) == 1
+        capsys.readouterr()
+        monkeypatch.delenv(FAIL_TASKS_ENV)
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1 reused from checkpoint" in out
+        assert "1 reused cells" in out
+        assert "Per-strategy comparison" in out
+        assert "FAILED" not in out
+
+    def test_sweep_resume_from_report_json(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        argv = ["sweep", "--devices", "pynq-z1", "--strategies", "scd"] + BUDGET
+        assert main(argv + ["--report", str(report)]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--from", str(report)]) == 0
+        assert "1 reused from checkpoint" in capsys.readouterr().out
+
+    def test_sweep_resume_without_checkpoint_starts_fresh(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["sweep", "--devices", "pynq-z1", "--strategies", "scd",
+                "--cache-dir", str(cache_dir), "--resume"] + BUDGET
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "No checkpoint at" in out
+        assert "Sweep: 1 tasks" in out
+
+    def test_sweep_resume_requires_cache_dir_or_from(self):
+        with pytest.raises(ValueError, match="--resume needs --cache-dir"):
+            main(["sweep", "--resume"] + BUDGET)
+
     def test_sweep_grid_axes_flags(self, capsys):
         code = main(["sweep", "--devices", "pynq-z1", "--strategies", "scd",
                      "--clocks", "100", "--utilizations", "0.9"] + BUDGET)

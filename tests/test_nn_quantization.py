@@ -120,3 +120,14 @@ class TestQuantizerProperties:
         q, _ = quantizer.quantize(x)
         assert q.max(initial=0) <= quantizer.qmax
         assert q.min(initial=0) >= quantizer.qmin
+
+    def test_subnormal_inputs_stay_in_range(self):
+        """Regression: a subnormal-float32 tensor produced a scale below the
+        float32 range; dividing in float32 then gave 0/0 = NaN, which cast
+        to INT32_MIN instead of a value in [qmin, qmax]."""
+        quantizer = FixedPointQuantizer(6)
+        for dtype, tiny in ((np.float32, 1e-45), (np.float16, 6e-8)):
+            x = np.array([0.0, tiny], dtype=dtype)
+            q, scale = quantizer.quantize(x)
+            assert q.tolist() == [0, quantizer.qmax], dtype
+            assert scale > 0

@@ -99,6 +99,19 @@ class TestBuildGrid:
         task = build_grid("pynq-z1", ["scd"], [40.0], **TINY)[0]
         assert task.name == "PYNQ-Z1-scd-40fps"
 
+    def test_task_uid_folds_in_budget_and_seed(self):
+        task = build_grid("pynq-z1", ["scd"], [40.0], **TINY)[0]
+        assert task.uid == "PYNQ-Z1-scd-40fps-t10-i25-c1-b2-s1"
+        assert task.uid.startswith(task.name)
+
+    def test_task_round_trips_through_dict(self):
+        from repro.utils.serialization import to_jsonable
+
+        task = build_grid("pynq-z1", "scd", [40.0], clocks_mhz=[125.0],
+                          utilizations=[0.8], **TINY)[0]
+        clone = SweepTask.from_dict(json.loads(json.dumps(to_jsonable(task))))
+        assert clone == task and clone.uid == task.uid
+
     def test_shared_budget_applied(self):
         task = build_grid("pynq-z1", "scd", [40.0], **TINY)[0]
         assert task.iterations == 25 and task.num_candidates == 1 and task.seed == 1
@@ -547,18 +560,25 @@ class TestCostOrdering:
 
     def test_journal_timings_override_heuristic(self):
         task = SweepTask(device="PYNQ-Z1", strategy="scd", fps=40.0)
+        assert expected_cost(task, {task.uid: 12.5}) == 12.5
+        # The display name still works as a legacy-hint fallback, but the
+        # uid wins when both are present (budget-aliasing bugfix).
         assert expected_cost(task, {task.name: 12.5}) == 12.5
+        assert expected_cost(task, {task.uid: 7.5, task.name: 12.5}) == 7.5
         assert expected_cost(task, {"other": 12.5}) == expected_cost(task)
-        assert expected_cost(task, {task.name: "garbage"}) == expected_cost(task)
+        assert expected_cost(task, {task.uid: "garbage"}) == expected_cost(task)
 
     def test_timings_file_written_and_reloaded(self, tmp_path):
         tasks = build_grid("pynq-z1", "scd", [40.0], **TINY)
         SweepRunner(tasks, workers=1, cache_dir=tmp_path).run()
         timings = json.loads((tmp_path / "_timings.json").read_text())
-        assert set(timings) == {"PYNQ-Z1-scd-40fps"}
-        assert timings["PYNQ-Z1-scd-40fps"] > 0
+        # Entries are uid-keyed, timestamped records (age-prunable by gc).
+        assert set(timings) == {tasks[0].uid}
+        assert timings[tasks[0].uid]["duration_s"] > 0
+        assert timings[tasks[0].uid]["ts"] > 0
         runner = SweepRunner(tasks, workers=1, cache_dir=tmp_path)
-        assert runner._load_cost_hints() == timings
+        assert runner._load_cost_hints() == \
+            {tasks[0].uid: timings[tasks[0].uid]["duration_s"]}
 
     def test_corrupt_timings_file_ignored(self, tmp_path):
         (tmp_path / "_timings.json").write_text("{not json")
