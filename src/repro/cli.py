@@ -24,6 +24,18 @@ re-execute; checkpointed outcomes are reused verbatim)::
     repro-codesign sweep --devices pynq-z1,ultra96 --strategies scd,random \
         --workers 4 --cache-dir .sweep-cache --resume
 
+Distribute a sweep across machines (coordinator owns the grid and the
+checkpoint; workers connect from anywhere)::
+
+    repro-codesign shard coordinator --bind 0.0.0.0:8765 \
+        --devices pynq-z1,ultra96 --strategies scd,random \
+        --cache-dir .sweep-cache --report sweep.json
+    repro-codesign shard worker --connect coordinator-host:8765 --workers 4
+
+Diff two saved sweep runs (result/report JSON or _checkpoint.jsonl)::
+
+    repro-codesign compare --diff old-sweep.json new-sweep.json
+
 Inspect or garbage-collect a persistent sweep cache::
 
     repro-codesign cache stats --cache-dir .sweep-cache
@@ -52,16 +64,105 @@ from repro.search import SearchSession, available_strategies
 from repro.utils.logging import configure_logging
 
 
+# ------------------------------------------------------ argument validation
+# argparse ``type=`` callables: a bad value dies as a clear two-line usage
+# error at the parser, instead of a traceback deep inside the runner (or,
+# worse, after worker processes already spawned).
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got '{text}'") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got '{text}'") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got '{text}'") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got '{text}'") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a number >= 0, got {value}")
+    return value
+
+
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
     """Search-budget arguments shared by codesign / search / sweep."""
-    parser.add_argument("--fps", type=float, nargs="+", default=[10.0, 15.0, 20.0],
+    parser.add_argument("--fps", type=_positive_float, nargs="+",
+                        default=[10.0, 15.0, 20.0],
                         help="latency targets in frames per second")
-    parser.add_argument("--tolerance-ms", type=float, default=8.0,
+    parser.add_argument("--tolerance-ms", type=_positive_float, default=8.0,
                         help="latency tolerance band")
-    parser.add_argument("--top-bundles", type=int, default=5, help="number of bundles to select")
-    parser.add_argument("--candidates", type=int, default=2, help="candidates per bundle per target")
-    parser.add_argument("--iterations", type=int, default=120, help="search iteration budget")
+    parser.add_argument("--top-bundles", type=_positive_int, default=5,
+                        help="number of bundles to select")
+    parser.add_argument("--candidates", type=_positive_int, default=2,
+                        help="candidates per bundle per target")
+    parser.add_argument("--iterations", type=_positive_int, default=120,
+                        help="search iteration budget")
     parser.add_argument("--seed", type=int, default=2019, help="search seed")
+
+
+def _add_grid_args(parser: argparse.ArgumentParser) -> None:
+    """Sweep-grid axes shared by ``sweep`` and ``shard coordinator``."""
+    parser.add_argument("--devices", default="pynq-z1",
+                        help=f"comma-separated device names ('all' = {', '.join(list_devices())})")
+    parser.add_argument("--strategies", default="scd",
+                        help=f"comma-separated strategies ({', '.join(available_strategies())})")
+    parser.add_argument("--clocks", type=_positive_float, nargs="+", default=None,
+                        help="accelerator clock axis in MHz (default: device default clock)")
+    parser.add_argument("--utilizations", type=_positive_float, nargs="+", default=[1.0],
+                        help="resource-utilization-limit axis, each in (0, 1]")
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Timeout / retry knobs shared by ``sweep`` and ``shard coordinator``."""
+    parser.add_argument("--timeout-s", type=_positive_float, default=None,
+                        help="per-cell wall-clock timeout floor; scaled up per cell "
+                             "from recorded cost hints")
+    parser.add_argument("--timeout-scale", type=_positive_float, default=3.0,
+                        help="multiplier over a cell's recorded duration when computing "
+                             "its effective timeout (--timeout-s is the floor)")
+    parser.add_argument("--retries", type=_non_negative_int, default=1,
+                        help="retries per failed/timed-out cell before recording a failure")
+    parser.add_argument("--retry-backoff-s", type=_non_negative_float, default=0.1,
+                        help="base of the deterministic exponential retry backoff "
+                             "(0 disables backoff)")
+
+
+def _add_persistence_args(parser: argparse.ArgumentParser) -> None:
+    """Cache / checkpoint / report args shared by ``sweep`` and the coordinator."""
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from <cache-dir>/_checkpoint.jsonl: reuse completed "
+                             "cells, re-run only failed/missing ones")
+    parser.add_argument("--from", dest="resume_from", default=None, metavar="PATH",
+                        help="explicit resume source: a _checkpoint.jsonl or a saved "
+                             "sweep result/report JSON (implies --resume)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent evaluation-cache directory (JSON-lines shards)")
+    parser.add_argument("--report", default=None,
+                        help="write the comparison report JSON to this path")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -79,7 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
     search = sub.add_parser("search", help="run the DNN search with a pluggable strategy")
     search.add_argument("--strategy", default="scd", choices=available_strategies(),
                         help="exploration strategy")
-    search.add_argument("--workers", type=int, default=1,
+    search.add_argument("--workers", type=_positive_int, default=1,
                         help="parallel evaluation worker threads (1 = serial, reproducible)")
     search.add_argument("--journal", default=None,
                         help="write the SearchSession journal JSON to this path")
@@ -89,43 +190,62 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="fan a device x strategy x target grid across worker processes"
     )
-    sweep.add_argument("--devices", default="pynq-z1",
-                       help=f"comma-separated device names ('all' = {', '.join(list_devices())})")
-    sweep.add_argument("--strategies", default="scd",
-                       help=f"comma-separated strategies ({', '.join(available_strategies())})")
-    sweep.add_argument("--workers", type=int, default=1,
+    _add_grid_args(sweep)
+    sweep.add_argument("--workers", type=_positive_int, default=1,
                        help="worker processes (1 = in-process serial)")
-    sweep.add_argument("--clocks", type=float, nargs="+", default=None,
-                       help="accelerator clock axis in MHz (default: device default clock)")
-    sweep.add_argument("--utilizations", type=float, nargs="+", default=[1.0],
-                       help="resource-utilization-limit axis, each in (0, 1]")
     sweep.add_argument("--schedule", choices=["steal", "chunked"], default="steal",
                        help="cell dispatch: cost-ordered work-stealing or static chunks")
-    sweep.add_argument("--timeout-s", type=float, default=None,
-                       help="per-cell wall-clock timeout floor (work-stealing schedule "
-                            "only); scaled up per cell from recorded cost hints")
-    sweep.add_argument("--timeout-scale", type=float, default=3.0,
-                       help="multiplier over a cell's recorded duration when computing "
-                            "its effective timeout (--timeout-s is the floor)")
-    sweep.add_argument("--retries", type=int, default=1,
-                       help="retries per failed/timed-out cell before recording a failure")
-    sweep.add_argument("--retry-backoff-s", type=float, default=0.1,
-                       help="base of the deterministic exponential retry backoff "
-                            "(0 disables backoff)")
-    sweep.add_argument("--resume", action="store_true",
-                       help="resume from <cache-dir>/_checkpoint.jsonl: reuse completed "
-                            "cells, re-run only failed/missing ones")
-    sweep.add_argument("--from", dest="resume_from", default=None, metavar="PATH",
-                       help="explicit resume source: a _checkpoint.jsonl or a saved "
-                            "sweep result/report JSON (implies --resume)")
+    _add_resilience_args(sweep)
     sweep.add_argument("--per-cell-prep", action="store_true",
                        help="re-run model fit + bundle selection in every cell "
                             "(default: prepared once per device and shared)")
-    sweep.add_argument("--cache-dir", default=None,
-                       help="persistent evaluation-cache directory (JSON-lines shards)")
-    sweep.add_argument("--report", default=None,
-                       help="write the comparison report JSON to this path")
+    _add_persistence_args(sweep)
     _add_budget_args(sweep)
+
+    shard = sub.add_parser(
+        "shard", help="distribute one sweep grid across machines (lease-based)"
+    )
+    shard_sub = shard.add_subparsers(dest="role", required=True)
+
+    coordinator = shard_sub.add_parser(
+        "coordinator",
+        help="own the grid: lease cells to workers, merge + checkpoint results",
+    )
+    coordinator.add_argument("--bind", default="127.0.0.1:8765", metavar="HOST:PORT",
+                             help="address to listen on (0.0.0.0:PORT for all interfaces)")
+    coordinator.add_argument("--lease-ttl-s", type=_positive_float, default=30.0,
+                             help="requeue a cell when its worker misses heartbeats "
+                                  "for this long")
+    coordinator.add_argument("--heartbeat-s", type=_positive_float, default=5.0,
+                             help="heartbeat period suggested to workers "
+                                  "(must be below --lease-ttl-s)")
+    _add_grid_args(coordinator)
+    _add_resilience_args(coordinator)
+    _add_persistence_args(coordinator)
+    _add_budget_args(coordinator)
+
+    worker = shard_sub.add_parser(
+        "worker", help="execute leased cells for a coordinator and stream results back"
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address (http:// is implied)")
+    worker.add_argument("--workers", type=_positive_int, default=1,
+                        help="concurrent cells on this machine "
+                             "(1 = serial in-process, N = local process pool)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="this machine's persistent evaluation-cache directory")
+    worker.add_argument("--name", default=None,
+                        help="worker display name (default: hostname-pid)")
+
+    compare_cmd = sub.add_parser(
+        "compare", help="diff two saved sweep runs (results, reports or checkpoints)"
+    )
+    compare_cmd.add_argument("--diff", nargs=2, required=True, metavar=("A", "B"),
+                             help="two sweep result/report JSONs or _checkpoint.jsonl files")
+    compare_cmd.add_argument("--only-changed", action="store_true",
+                             help="list only the cells that differ")
+    compare_cmd.add_argument("--report", default=None,
+                             help="write the diff as JSON to this path")
 
     cache = sub.add_parser(
         "cache", help="inspect or compact a persistent sweep evaluation-cache directory"
@@ -239,11 +359,10 @@ def _resolve_resume_source(args: argparse.Namespace):
     return str(checkpoint)
 
 
-def _run_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import SweepRunner, build_grid, compare
-    from repro.utils.serialization import dump_json
+def _build_sweep_runner(args: argparse.Namespace, transport=None):
+    """Grid + runner construction shared by ``sweep`` and ``shard coordinator``."""
+    from repro.sweep import SweepRunner, build_grid
 
-    resume_from = _resolve_resume_source(args)
     tasks = build_grid(
         args.devices,
         args.strategies,
@@ -256,19 +375,26 @@ def _run_sweep(args: argparse.Namespace) -> int:
         clocks_mhz=args.clocks,
         utilizations=args.utilizations,
     )
-    runner = SweepRunner(
+    return SweepRunner(
         tasks,
-        workers=args.workers,
+        workers=getattr(args, "workers", 1),
         cache_dir=args.cache_dir,
-        schedule=args.schedule,
+        schedule=getattr(args, "schedule", "steal"),
         timeout_s=args.timeout_s,
         timeout_scale=args.timeout_scale,
         retries=args.retries,
         retry_backoff_s=args.retry_backoff_s,
-        share_preparation=not args.per_cell_prep,
-        resume_from=resume_from,
+        share_preparation=not getattr(args, "per_cell_prep", False),
+        resume_from=_resolve_resume_source(args),
+        transport=transport,
     )
-    result = runner.run()
+
+
+def _report_sweep_result(result, args: argparse.Namespace) -> int:
+    """Print summary + comparison, write the report file, pick the exit code."""
+    from repro.sweep import compare
+    from repro.utils.serialization import dump_json
+
     comparison = compare(result) if result.outcomes else None
     print(result.summary())
     print()
@@ -283,6 +409,71 @@ def _run_sweep(args: argparse.Namespace) -> int:
         path = dump_json(payload, args.report)
         print(f"Report written to {path}")
     return 0 if result.ok else 1
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    runner = _build_sweep_runner(args)
+    return _report_sweep_result(runner.run(), args)
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    if args.role == "coordinator":
+        from repro.shard import CoordinatorTransport, parse_bind
+
+        # Cross-field and bind-spec validation that argparse types cannot
+        # express; fail as a usage error (exit 2), not a traceback.
+        try:
+            bind = parse_bind(args.bind)
+        except ValueError as exc:
+            print(f"repro-codesign shard coordinator: error: argument --bind: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.heartbeat_s >= args.lease_ttl_s:
+            print(
+                "repro-codesign shard coordinator: error: argument --heartbeat-s: "
+                f"must be below --lease-ttl-s ({args.heartbeat_s:g} >= "
+                f"{args.lease_ttl_s:g})",
+                file=sys.stderr,
+            )
+            return 2
+        transport = CoordinatorTransport(
+            bind=bind,
+            lease_ttl_s=args.lease_ttl_s,
+            heartbeat_s=args.heartbeat_s,
+            on_bound=lambda coordinator: print(
+                f"Coordinator listening on {coordinator.url} "
+                f"(lease TTL {args.lease_ttl_s:g}s); waiting for workers...",
+                flush=True,
+            ),
+        )
+        runner = _build_sweep_runner(args, transport=transport)
+        return _report_sweep_result(runner.run(), args)
+    if args.role == "worker":
+        from repro.shard import ShardWorker
+
+        worker = ShardWorker(
+            args.connect,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            name=args.name,
+        )
+        code = worker.run()
+        print(f"Worker {worker.name}: executed {worker.executed} cell(s), "
+              f"{worker.reported_errors} error(s) reported, exit {code}")
+        return code
+    raise ValueError(f"Unknown shard role {args.role}")  # pragma: no cover
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.sweep import diff_results
+    from repro.utils.serialization import dump_json
+
+    diff = diff_results(args.diff[0], args.diff[1])
+    print(diff.render(only_changed=args.only_changed))
+    if args.report:
+        path = dump_json(diff.as_dict(), args.report)
+        print(f"Diff written to {path}")
+    return 0
 
 
 def _run_cache(args: argparse.Namespace) -> int:
@@ -396,6 +587,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_search(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "shard":
+        return _run_shard(args)
+    if args.command == "compare":
+        return _run_compare(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "experiment":

@@ -1,6 +1,6 @@
 """Built-in exploration strategies over the SCD move set.
 
-All four strategies perturb candidates exclusively through the ``N`` / ``Pi``
+All strategies perturb candidates exclusively through the ``N`` / ``Pi``
 / ``X`` coordinate moves of :mod:`repro.core.scd` (Algorithm 1's move set),
 so their results live in exactly the same design space and are directly
 comparable:
@@ -8,12 +8,15 @@ comparable:
 * ``scd`` — adapter around the paper's :class:`~repro.core.scd.SCDUnit`,
 * ``random`` — randomized multi-start walk, batch-evaluated,
 * ``evolutionary`` — truncation-selection evolution of a population,
+* ``regularized-evolution`` — aging evolution (tournament parent
+  selection, oldest member dies each cycle),
 * ``annealing`` — simulated annealing on the latency-gap energy.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Optional
 
 from repro.core.dnn_config import DNNConfig
@@ -160,6 +163,62 @@ class EvolutionaryExplorer(MoveBasedExplorer):
                 next_population.append(self.random_walk(parent, max_moves=2))
             population = next_population
         return generations
+
+
+@register_explorer("regularized-evolution")
+class RegularizedEvolutionExplorer(MoveBasedExplorer):
+    """Aging evolution (regularized evolution) over the SCD move set.
+
+    The population is a FIFO queue of bounded size.  Each cycle samples a
+    small tournament uniformly from the population, mutates the
+    lowest-energy sampled member with one random move, evaluates the
+    child, appends it and retires the *oldest* member — dying of age, not
+    of fitness.  The aging regularization (Real et al., AAAI'19,
+    "Regularized Evolution for Image Classifier Architecture Search")
+    prevents an early lucky candidate from dominating the population
+    forever and keeps exploration moving even on flat energy plateaus.
+
+    The seed population is batch-evaluated through the worker pool; each
+    subsequent cycle evaluates exactly one child, so the evaluation
+    budget translates directly into evolution cycles.
+    """
+
+    def __init__(
+        self, *args, population_size: int = 12, sample_size: int = 4, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= sample_size <= population_size:
+            raise ValueError("sample_size must be in [1, population_size]")
+        self.population_size = population_size
+        self.sample_size = sample_size
+
+    def _explore(self, initial: DNNConfig, num_candidates: int) -> int:
+        seeds = [initial] + [
+            self.random_walk(initial, max_moves=2)
+            for _ in range(min(self.population_size, max(self.budget_left, 1)) - 1)
+        ]
+        estimates = self.evaluate_batch(seeds)
+        population: deque[tuple[DNNConfig, float]] = deque(maxlen=self.population_size)
+        for config, estimate in zip(seeds, estimates):
+            self.consider(config, estimate)
+            population.append((config, self.energy(estimate)))
+        cycles = 0
+        while len(self._candidates) < num_candidates and self.budget_left > 0:
+            cycles += 1
+            draws = min(self.sample_size, len(population))
+            sampled = [
+                population[int(self.rng.integers(0, len(population)))]
+                for _ in range(draws)
+            ]
+            parent = min(sampled, key=lambda pair: pair[1])[0]
+            child = self.random_move(parent)
+            estimate = self.evaluate(child)
+            self.consider(child, estimate)
+            # deque(maxlen=...) retires the oldest member on append: aging.
+            population.append((child, self.energy(estimate)))
+        return cycles
 
 
 @register_explorer("annealing")

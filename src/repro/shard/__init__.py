@@ -1,0 +1,89 @@
+"""Cross-machine distributed sweep: lease-based coordinator/worker tier.
+
+``repro.shard`` scales the sweep grid past one machine with nothing but
+the standard library: a coordinator (``http.server``) owns the grid and
+leases cells to workers (``urllib``), ships each worker the serialized
+per-device :class:`~repro.sweep.runner.PreparedDevice` for its cells,
+and streams every settled :class:`~repro.sweep.runner.SweepOutcome` /
+``SweepFailure`` into the exact same fsynced ``_checkpoint.jsonl`` a
+local sweep writes — so ``--resume``, :meth:`SweepResult.load`,
+``compare`` and ``compare --diff`` treat distributed and local runs
+identically, and the merged result's journals are byte-identical to a
+single-machine ``workers=1`` run of the same grid and seed.
+
+Dead or stalled workers are handled with heartbeats and lease expiry:
+an expired lease requeues its cell (bounded per-cell reassignment with
+the PR-4 retry/backoff/cost-hint machinery), and duplicate completions
+are resolved deterministically by task uid — first settled record wins.
+
+Quickstart (two terminals)::
+
+    # terminal 1 — the coordinator owns the grid and the checkpoint
+    repro-codesign shard coordinator --bind 0.0.0.0:8765 \
+        --devices pynq-z1,ultra96 --strategies scd,random \
+        --fps 20 30 --cache-dir .sweep-cache --report sweep.json
+
+    # terminal 2..N — workers on any machine that can reach it
+    repro-codesign shard worker --connect coordinator-host:8765 --workers 4
+
+Programmatically the distributed tier is one argument::
+
+    from repro.shard import CoordinatorTransport
+    from repro.sweep import SweepRunner, build_grid
+
+    tasks = build_grid("pynq-z1,ultra96", "scd,random", [20.0, 30.0])
+    result = SweepRunner(
+        tasks, cache_dir=".sweep-cache",
+        transport=CoordinatorTransport(bind=("0.0.0.0", 8765)),
+    ).run()
+"""
+
+from repro.shard.coordinator import LeaseBoard, ShardCoordinator
+from repro.shard.protocol import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_LEASE_TTL_S,
+    DEFAULT_POLL_S,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ShardProtocolError,
+    failure_from_wire,
+    failure_to_wire,
+    get_json,
+    outcome_from_wire,
+    outcome_to_wire,
+    parse_bind,
+    post_json,
+    prepared_from_wire,
+    prepared_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
+from repro.shard.transport import CoordinatorTransport, LocalTransport, Transport
+from repro.shard.worker import ShardWorker, execute_cell
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_PORT",
+    "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_POLL_S",
+    "ShardProtocolError",
+    "parse_bind",
+    "post_json",
+    "get_json",
+    "task_to_wire",
+    "task_from_wire",
+    "outcome_to_wire",
+    "outcome_from_wire",
+    "failure_to_wire",
+    "failure_from_wire",
+    "prepared_to_wire",
+    "prepared_from_wire",
+    "LeaseBoard",
+    "ShardCoordinator",
+    "Transport",
+    "LocalTransport",
+    "CoordinatorTransport",
+    "ShardWorker",
+    "execute_cell",
+]

@@ -1,0 +1,201 @@
+"""Wire protocol of the cross-machine sweep shard tier.
+
+The coordinator and its workers speak a deliberately small JSON-over-HTTP
+protocol built on the standard library only (``http.server`` on the
+coordinator side, ``urllib.request`` on the worker side) — a shard
+deployment needs a Python interpreter and a routable TCP port, nothing
+else.  Every message body is a JSON object; every payload that crosses
+the wire is made of the same JSON views the sweep subsystem already
+persists (``SweepTask.from_dict``, ``SweepOutcome.from_dict``,
+``SweepFailure.from_dict``, ``PreparedDevice.to_wire``), so the
+distributed tier introduces **no second serialization format**: what a
+worker streams back is exactly what the coordinator appends to
+``_checkpoint.jsonl``, and ``--resume`` / ``SweepResult.load`` /
+``compare`` work on distributed runs unchanged.
+
+Endpoints (all under ``/v1``; requests are ``POST`` with a JSON body
+unless noted):
+
+``/v1/register``
+    ``{"name": ...}`` → ``{"worker_id", "lease_ttl_s", "heartbeat_s",
+    "poll_s", "grid_size"}``.  A worker registers once and uses the
+    returned id in every later call.
+
+``/v1/lease``
+    ``{"worker_id", "slots", "known_preps": [wire_key, ...]}`` →
+    ``{"cells": [{"lease_id", "uid", "task", "prep", "timeout_s"}, ...],
+    "prepared": {wire_key: PreparedDevice.to_wire(), ...},
+    "done": bool, "retry_after_s": float}``.  Cells are leased
+    longest-expected-first; the serialized :class:`PreparedDevice` for a
+    cell's device key ships inline exactly once per worker (the worker
+    advertises the keys it already holds).  ``done=True`` tells the
+    worker the whole grid has settled and it should exit.
+
+``/v1/report``
+    ``{"worker_id", "lease_id", "uid", "status": "ok"|"error",
+    "outcome"| "error", "duration_s"}`` → ``{"accepted": bool,
+    "reason": str?}``.  Duplicate completions (a lease that expired and
+    was re-run elsewhere) are resolved deterministically by uid — the
+    first settled record wins and later reports are acknowledged but
+    dropped (``accepted=False, reason="duplicate"``), so a settled cell
+    is never lost *or* double-counted.
+
+``/v1/heartbeat``
+    ``{"worker_id", "lease_ids": [...]}`` → ``{"ok", "lost": [...]}``.
+    Extends the worker's leases; a lease the coordinator already revoked
+    (expired and requeued) comes back in ``lost`` so the worker can stop
+    wasting cycles on it.
+
+``/v1/status`` (GET)
+    Progress counters for dashboards and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Mapping, Optional
+
+from repro.sweep.runner import PreparedDevice, SweepFailure, SweepOutcome, SweepTask
+from repro.utils.serialization import to_jsonable
+
+#: Protocol version; a coordinator rejects workers speaking another one.
+PROTOCOL_VERSION = 1
+
+#: Default coordinator port (unassigned by IANA, outside ephemeral range).
+DEFAULT_PORT = 8765
+
+#: Default lease time-to-live: a worker that misses heartbeats for this
+#: long is presumed dead and its cells are requeued.
+DEFAULT_LEASE_TTL_S = 30.0
+
+#: Default worker heartbeat period (well under the lease TTL).
+DEFAULT_HEARTBEAT_S = 5.0
+
+#: Default idle-poll period suggested to workers when no cell is ready.
+DEFAULT_POLL_S = 0.5
+
+
+class ShardProtocolError(RuntimeError):
+    """A malformed or unexpected message crossed the shard wire."""
+
+
+# ---------------------------------------------------------------- wire views
+def task_to_wire(task: SweepTask) -> dict:
+    """JSON view of one grid cell (the checkpoint's task encoding)."""
+    return to_jsonable(task)
+
+
+def task_from_wire(payload: Mapping) -> SweepTask:
+    return SweepTask.from_dict(payload)
+
+
+def outcome_to_wire(outcome: SweepOutcome) -> dict:
+    return to_jsonable(outcome)
+
+
+def outcome_from_wire(payload: Mapping) -> SweepOutcome:
+    return SweepOutcome.from_dict(payload)
+
+
+def failure_to_wire(failure: SweepFailure) -> dict:
+    return failure.as_dict()
+
+
+def failure_from_wire(payload: Mapping) -> SweepFailure:
+    return SweepFailure.from_dict(payload)
+
+
+def prepared_to_wire(prepared: PreparedDevice) -> dict:
+    return prepared.to_wire()
+
+
+def prepared_from_wire(payload: Mapping) -> PreparedDevice:
+    return PreparedDevice.from_wire(payload)
+
+
+# -------------------------------------------------------------- HTTP client
+def _fetch_json(url: str, request, timeout_s: float) -> dict:
+    """One request/response exchange under the shard error contract.
+
+    Transport failures, non-2xx statuses and non-JSON / non-object replies
+    all surface as :class:`ShardProtocolError`, so callers handle exactly
+    one exception type.  ``urllib`` only — no third-party HTTP stack.
+    """
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            raw = response.read()
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = exc.read().decode("utf-8", "replace")[:200]
+        except Exception:  # pragma: no cover - error body unavailable
+            pass
+        raise ShardProtocolError(
+            f"{url} answered HTTP {exc.code}: {detail or exc.reason}"
+        ) from exc
+    except (urllib.error.URLError, OSError) as exc:
+        raise ShardProtocolError(f"could not reach {url}: {exc}") from exc
+    try:
+        reply = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ShardProtocolError(f"{url} returned a non-JSON reply") from exc
+    if not isinstance(reply, dict):
+        raise ShardProtocolError(f"{url} returned a non-object reply")
+    return reply
+
+
+def post_json(
+    base_url: str,
+    path: str,
+    payload: Mapping,
+    timeout_s: float = 10.0,
+) -> dict:
+    """POST ``payload`` as JSON to ``base_url + path``; return the JSON reply."""
+    url = base_url.rstrip("/") + path
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(to_jsonable(payload)).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    return _fetch_json(url, request, timeout_s)
+
+
+def get_json(base_url: str, path: str, timeout_s: float = 10.0) -> dict:
+    """GET ``base_url + path``; return the JSON reply (same error contract)."""
+    url = base_url.rstrip("/") + path
+    return _fetch_json(url, url, timeout_s)
+
+
+def parse_bind(spec: str, default_port: int = DEFAULT_PORT) -> tuple[str, int]:
+    """Parse a ``host:port`` / ``host`` / ``:port`` bind spec."""
+    spec = (spec or "").strip()
+    if not spec:
+        return ("127.0.0.1", default_port)
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        return (spec, default_port)
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in bind spec '{spec}'") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} out of range in bind spec '{spec}'")
+    return (host, port)
+
+
+def require(payload: Mapping, key: str, kind: Optional[type] = None):
+    """Fetch a required message field, raising the protocol error on absence."""
+    if key not in payload:
+        raise ShardProtocolError(f"message is missing required field '{key}'")
+    value = payload[key]
+    if kind is not None and not isinstance(value, kind):
+        raise ShardProtocolError(
+            f"message field '{key}' must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,308 @@
+"""Shard worker: pull leased cells from a coordinator and stream results back.
+
+A worker is a thin loop around the *existing* single-cell execution path
+(:func:`repro.sweep.runner.run_sweep_task`): register → lease → execute →
+report, with a daemon heartbeat thread keeping the leases alive.  Nothing
+about cell execution is distributed-specific — the worker rebuilds the
+:class:`~repro.sweep.runner.PreparedDevice` shipped by the coordinator
+(bit-exact JSON round trip) and calls the same function the local
+schedules call, so a cell's journal is byte-identical no matter which
+machine ran it.
+
+``workers=1`` executes leased cells serially in-process (easiest to debug
+and test; a custom ``task_fn`` need not be picklable).  ``workers > 1``
+fans cells out across a local :class:`~concurrent.futures.
+ProcessPoolExecutor` — one shard worker per machine, one OS process per
+concurrent cell, mirroring the local sweep's process model.
+
+Failure handling is deliberately asymmetric: the *coordinator* owns all
+retry/requeue policy.  A worker reports raw errors and keeps going; it
+never retries a cell on its own (that would skew the coordinator's
+bounded per-cell attempt accounting).  A worker that loses its
+coordinator exits non-zero after bounded reconnect attempts — unless it
+already observed ``done=True``, which is the normal shutdown path.
+
+A worker may keep its own ``cache_dir`` for the persistent estimator
+cache (per-machine, like any local sweep); journals do not depend on
+cache warmth, so byte-identity across the fleet is unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional
+
+from repro.shard.protocol import (
+    PROTOCOL_VERSION,
+    ShardProtocolError,
+    outcome_to_wire,
+    post_json,
+    prepared_from_wire,
+    task_from_wire,
+)
+from repro.sweep.runner import PreparedDevice, SweepOutcome, run_sweep_task
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+def execute_cell(task_fn, task, cache_dir, prepared) -> tuple[str, object, float]:
+    """Run one leased cell; report ``(status, value, duration_s)`` either way.
+
+    Module-level (and defaulting to the picklable
+    :func:`~repro.sweep.runner.run_sweep_task`) so it ships into the
+    worker's local process pool under any start method.
+    """
+    start = time.perf_counter()
+    try:
+        value = task_fn(task, cache_dir, prepared)
+    except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+        return ("error", f"{type(exc).__name__}: {exc}", time.perf_counter() - start)
+    if not isinstance(value, SweepOutcome):
+        return (
+            "error",
+            f"worker returned {type(value).__name__!s} instead of SweepOutcome",
+            time.perf_counter() - start,
+        )
+    return ("ok", value, time.perf_counter() - start)
+
+
+class ShardWorker:
+    """One worker process in a distributed sweep fleet."""
+
+    def __init__(
+        self,
+        connect: str,
+        *,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        name: Optional[str] = None,
+        task_fn: Callable[..., SweepOutcome] = run_sweep_task,
+        request_timeout_s: float = 30.0,
+        max_connect_failures: int = 10,
+        reconnect_delay_s: float = 0.5,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_connect_failures < 1:
+            raise ValueError("max_connect_failures must be >= 1")
+        self.connect = connect.rstrip("/")
+        if not self.connect.startswith(("http://", "https://")):
+            self.connect = "http://" + self.connect
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.task_fn = task_fn
+        self.request_timeout_s = request_timeout_s
+        self.max_connect_failures = max_connect_failures
+        self.reconnect_delay_s = reconnect_delay_s
+
+        self.worker_id: Optional[str] = None
+        self.heartbeat_s = 5.0
+        self.poll_s = 0.5
+        self.executed = 0
+        self.reported_errors = 0
+        self._prepared: dict[str, PreparedDevice] = {}
+        self._lease_lock = threading.Lock()
+        self._active_leases: set[str] = set()
+        self._saw_done = threading.Event()
+        self._stop = threading.Event()
+
+    # ----------------------------------------------------------------- wire io
+    def _post(self, path: str, payload: dict) -> dict:
+        return post_json(self.connect, path, payload,
+                         timeout_s=self.request_timeout_s)
+
+    def _register(self) -> None:
+        reply = self._post("/v1/register", {
+            "name": self.name, "version": PROTOCOL_VERSION,
+        })
+        self.worker_id = str(reply["worker_id"])
+        self.heartbeat_s = float(reply.get("heartbeat_s", self.heartbeat_s))
+        self.poll_s = float(reply.get("poll_s", self.poll_s))
+        logger.info("shard worker %s registered as %s at %s",
+                    self.name, self.worker_id, self.connect)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            with self._lease_lock:
+                leases = sorted(self._active_leases)
+            try:
+                reply = self._post("/v1/heartbeat", {
+                    "worker_id": self.worker_id, "lease_ids": leases,
+                })
+            except ShardProtocolError:
+                continue  # transient; the main loop handles a dead coordinator
+            if reply.get("done"):
+                self._saw_done.set()
+            lost = reply.get("lost") or []
+            if lost:
+                logger.warning(
+                    "shard worker %s: coordinator revoked lease(s) %s "
+                    "(results will be reported anyway and deduplicated)",
+                    self.worker_id, ", ".join(map(str, lost)),
+                )
+
+    def _lease(self, slots: int) -> dict:
+        reply = self._post("/v1/lease", {
+            "worker_id": self.worker_id,
+            "slots": slots,
+            "known_preps": sorted(self._prepared),
+        })
+        for key, wire in (reply.get("prepared") or {}).items():
+            if key not in self._prepared:
+                self._prepared[key] = prepared_from_wire(wire)
+        if reply.get("done"):
+            self._saw_done.set()
+        return reply
+
+    def _report(self, lease_id: str, uid: str, status: str, value, duration_s: float) -> None:
+        payload = {
+            "worker_id": self.worker_id,
+            "lease_id": lease_id,
+            "uid": uid,
+            "status": status,
+            "duration_s": duration_s,
+        }
+        if status == "ok":
+            payload["outcome"] = outcome_to_wire(value)
+        else:
+            payload["error"] = str(value)
+            self.reported_errors += 1
+        reply = self._post("/v1/report", payload)
+        if reply.get("done"):
+            self._saw_done.set()
+        if not reply.get("accepted"):
+            logger.info("shard worker %s: report for %s dropped (%s)",
+                        self.worker_id, uid, reply.get("reason"))
+        with self._lease_lock:
+            self._active_leases.discard(lease_id)
+
+    # ------------------------------------------------------------------- main
+    def run(self) -> int:
+        """Work until the coordinator reports the grid done.
+
+        Returns a process exit code: 0 after a clean ``done`` shutdown,
+        1 when the coordinator became unreachable mid-run.
+        """
+        failures = 0
+        while True:
+            try:
+                self._register()
+                break
+            except ShardProtocolError as exc:
+                failures += 1
+                if failures >= self.max_connect_failures:
+                    logger.error("shard worker %s: cannot reach coordinator: %s",
+                                 self.name, exc)
+                    return 1
+                time.sleep(self.reconnect_delay_s)
+
+        heartbeat = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        heartbeat.start()
+        try:
+            if self.workers == 1:
+                return self._run_serial()
+            return self._run_pooled()
+        finally:
+            self._stop.set()
+            heartbeat.join(timeout=2.0)
+
+    def _checked(self, call: Callable[[], dict]) -> Optional[dict]:
+        """One coordinator round trip with bounded-failure accounting."""
+        failures = 0
+        while True:
+            try:
+                return call()
+            except ShardProtocolError as exc:
+                if self._saw_done.is_set():
+                    return None  # grid finished; the socket is simply gone
+                failures += 1
+                if failures >= self.max_connect_failures:
+                    logger.error("shard worker %s: lost the coordinator: %s",
+                                 self.worker_id or self.name, exc)
+                    raise
+                time.sleep(self.reconnect_delay_s)
+
+    def _run_serial(self) -> int:
+        try:
+            while True:
+                reply = self._checked(lambda: self._lease(1))
+                if reply is None:
+                    return 0
+                cells = reply.get("cells") or []
+                if not cells:
+                    if reply.get("done"):
+                        return 0
+                    time.sleep(max(float(reply.get("retry_after_s", self.poll_s)),
+                                   0.05))
+                    continue
+                for cell in cells:
+                    lease_id = str(cell["lease_id"])
+                    uid = str(cell["uid"])
+                    with self._lease_lock:
+                        self._active_leases.add(lease_id)
+                    task = task_from_wire(cell["task"])
+                    prepared = self._prepared.get(cell.get("prep") or "")
+                    status, value, duration = execute_cell(
+                        self.task_fn, task, self.cache_dir, prepared)
+                    self.executed += 1
+                    if self._checked(
+                        lambda lid=lease_id, u=uid, s=status, v=value, d=duration:
+                        self._report(lid, u, s, v, d) or {}
+                    ) is None:
+                        return 0
+        except ShardProtocolError:
+            return 1
+
+    def _run_pooled(self) -> int:
+        in_flight: dict = {}  # future -> (lease_id, uid)
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                while True:
+                    free = self.workers - len(in_flight)
+                    if free > 0:
+                        reply = self._checked(lambda: self._lease(free))
+                        if reply is None:
+                            return 0
+                        cells = reply.get("cells") or []
+                        for cell in cells:
+                            lease_id = str(cell["lease_id"])
+                            uid = str(cell["uid"])
+                            with self._lease_lock:
+                                self._active_leases.add(lease_id)
+                            task = task_from_wire(cell["task"])
+                            prepared = self._prepared.get(cell.get("prep") or "")
+                            future = pool.submit(execute_cell, self.task_fn,
+                                                 task, self.cache_dir, prepared)
+                            in_flight[future] = (lease_id, uid)
+                        if not cells and not in_flight:
+                            if reply.get("done"):
+                                return 0
+                            time.sleep(max(
+                                float(reply.get("retry_after_s", self.poll_s)), 0.05))
+                            continue
+                    if in_flight:
+                        # Bounded wait so freed slots keep leasing while slow
+                        # cells are still running.
+                        done, _ = wait(in_flight, timeout=0.5,
+                                       return_when=FIRST_COMPLETED)
+                        for future in done:
+                            lease_id, uid = in_flight.pop(future)
+                            try:
+                                status, value, duration = future.result()
+                            except Exception as exc:  # noqa: BLE001 - pool-level crash
+                                status, value, duration = (
+                                    "error", f"{type(exc).__name__}: {exc}", 0.0)
+                            self.executed += 1
+                            if self._checked(
+                                lambda lid=lease_id, u=uid, s=status, v=value,
+                                d=duration: self._report(lid, u, s, v, d) or {}
+                            ) is None:
+                                return 0
+        except ShardProtocolError:
+            return 1

@@ -22,7 +22,14 @@ limits at once:
   the timestamped ``_timings.json`` cost-hint sidecar; powers
   ``SweepRunner(resume_from=...)`` / ``repro-codesign sweep --resume``,
 * :mod:`repro.sweep.compare` — :func:`compare`: journal-driven
-  cross-strategy / cross-device report (text and JSON).
+  cross-strategy / cross-device report (text and JSON), and
+  :func:`diff_results`: checkpoint-aware per-uid delta table between two
+  saved runs.
+
+Cross-machine distribution lives in :mod:`repro.shard`: pass
+``SweepRunner(transport=repro.shard.CoordinatorTransport(...))`` and the
+same grid is leased to remote workers over stdlib HTTP, checkpointed into
+the same ``_checkpoint.jsonl``, byte-identical to a local run.
 
 Quickstart::
 
@@ -51,7 +58,16 @@ from repro.sweep.checkpoint import (
     save_timings,
     scan_checkpoint,
 )
-from repro.sweep.compare import DeviceWinner, StrategySummary, SweepComparison, compare
+from repro.sweep.compare import (
+    DeviceWinner,
+    DiffRow,
+    StrategySummary,
+    SweepComparison,
+    SweepDiff,
+    compare,
+    diff_results,
+    load_run,
+)
 from repro.sweep.disk_cache import (
     CacheDirStats,
     CompactionReport,
@@ -105,4 +121,8 @@ __all__ = [
     "StrategySummary",
     "DeviceWinner",
     "compare",
+    "SweepDiff",
+    "DiffRow",
+    "diff_results",
+    "load_run",
 ]

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
@@ -225,6 +226,11 @@ class CheckpointWriter:
     append-mode handle, flushed and fsynced before the handle closes:
     a parent killed mid-sweep loses at most the line being written, which
     the loader skips as corrupt.
+
+    The writer is **thread-safe**: a lock serialises appends and the
+    recorded-uid bookkeeping, because the shard coordinator settles cells
+    from concurrent HTTP handler threads (several workers reporting at
+    once) while the local schedules settle from a single thread.
     """
 
     def __init__(
@@ -236,6 +242,7 @@ class CheckpointWriter:
     ) -> None:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
         self._recorded: set[str] = set()
         header = {
             "kind": "header",
@@ -258,25 +265,30 @@ class CheckpointWriter:
 
     def has_outcome(self, uid: str) -> bool:
         """True when the checkpoint already holds an outcome for ``uid``."""
-        return uid in self._recorded
+        with self._lock:
+            return uid in self._recorded
 
     def record_outcome(self, outcome: SweepOutcome) -> None:
-        self._append({
+        record = {
             "kind": "outcome",
             "uid": outcome.task.uid,
             "outcome": to_jsonable(outcome),
             "ts": round(time.time(), 3),
-        })
-        self._recorded.add(outcome.task.uid)
+        }
+        with self._lock:
+            self._append(record)
+            self._recorded.add(outcome.task.uid)
 
     def record_failure(self, failure: SweepFailure) -> None:
-        self._append({
+        record = {
             "kind": "failure",
             "uid": failure.task.uid,
             "failure": failure.as_dict(),
             "ts": round(time.time(), 3),
-        })
-        self._recorded.discard(failure.task.uid)
+        }
+        with self._lock:
+            self._append(record)
+            self._recorded.discard(failure.task.uid)
 
     def _append(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"

@@ -1,4 +1,4 @@
-"""Cross-strategy / cross-device comparison of sweep outcomes.
+"""Cross-strategy / cross-device comparison and diffing of sweep outcomes.
 
 The comparison is **journal-driven**: per-strategy evaluation counts, cache
 hit rates and candidate counts are re-derived from each outcome's archived
@@ -7,15 +7,24 @@ counters), so the same report can be rebuilt later from saved sweep results
 and is directly comparable across runs and machines.  It renders both as an
 aligned plain-text table block (:meth:`SweepComparison.render`) and as a
 JSON-able structure (:meth:`SweepComparison.as_dict`).
+
+:func:`diff_results` compares two *saved* runs cell by cell (keyed by task
+uid): per-uid latency / gap deltas, outcome-status transitions
+(ok ↔ failed ↔ missing) and the cells present in only one run.  Both sides
+load **checkpoint-aware** via :func:`load_run`: a ``_checkpoint.jsonl``, a
+``SweepResult.save`` JSON and the CLI's ``{"sweep": ...}`` report file are
+all accepted, so a crashed run's checkpoint can be diffed directly against
+its finished re-run.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional, Sequence
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
 
-from repro.sweep.runner import SweepOutcome, SweepResult
+from repro.sweep.runner import SweepFailure, SweepOutcome, SweepResult
 from repro.utils.tables import render_table
 
 
@@ -238,3 +247,202 @@ def compare(outcomes: Sequence[SweepOutcome] | SweepResult) -> SweepComparison:
         "duration_s": sum(s.duration_s for s in strategies),
     }
     return SweepComparison(strategies=strategies, winners=winners, totals=totals)
+
+
+# ------------------------------------------------------------------ run diff
+_RunLike = Union[str, pathlib.Path, SweepResult]
+
+
+def load_run(source: _RunLike) -> tuple[dict[str, SweepOutcome], dict[str, SweepFailure]]:
+    """Load one run's settled cells keyed by task uid, checkpoint-aware.
+
+    Accepts an in-memory :class:`SweepResult`, a saved result / CLI report
+    JSON, or an incremental ``_checkpoint.jsonl`` (newest record per uid
+    wins, exactly as ``--resume`` would read it).
+    """
+    if isinstance(source, SweepResult):
+        return (
+            {o.task.uid: o for o in source.outcomes},
+            {f.task.uid: f for f in source.failures},
+        )
+    path = pathlib.Path(source)
+    if path.suffix == ".jsonl":
+        from repro.sweep.checkpoint import load_checkpoint
+
+        status = load_checkpoint(path)
+        return dict(status.outcomes), dict(status.failures)
+    result = SweepResult.load(path)
+    return (
+        {o.task.uid: o for o in result.outcomes},
+        {f.task.uid: f for f in result.failures},
+    )
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One task uid's state in run A versus run B."""
+
+    uid: str
+    name: str
+    status_a: str  # "ok" | "failed" | "missing"
+    status_b: str
+    latency_a: Optional[float] = None
+    latency_b: Optional[float] = None
+    gap_a: Optional[float] = None
+    gap_b: Optional[float] = None
+    evaluations_a: Optional[int] = None
+    evaluations_b: Optional[int] = None
+
+    @property
+    def latency_delta_ms(self) -> Optional[float]:
+        if self.latency_a is None or self.latency_b is None:
+            return None
+        return self.latency_b - self.latency_a
+
+    @property
+    def gap_delta_ms(self) -> Optional[float]:
+        if self.gap_a is None or self.gap_b is None:
+            return None
+        return self.gap_b - self.gap_a
+
+    @property
+    def changed(self) -> bool:
+        """True when anything observable about the cell differs."""
+        return (
+            self.status_a != self.status_b
+            or self.latency_a != self.latency_b
+            or self.gap_a != self.gap_b
+            or self.evaluations_a != self.evaluations_b
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "uid": self.uid,
+            "name": self.name,
+            "status_a": self.status_a,
+            "status_b": self.status_b,
+            "latency_a": self.latency_a,
+            "latency_b": self.latency_b,
+            "latency_delta_ms": self.latency_delta_ms,
+            "gap_a": self.gap_a,
+            "gap_b": self.gap_b,
+            "gap_delta_ms": self.gap_delta_ms,
+            "evaluations_a": self.evaluations_a,
+            "evaluations_b": self.evaluations_b,
+            "changed": self.changed,
+        }
+
+
+@dataclass
+class SweepDiff:
+    """Per-uid delta view of two saved sweep runs."""
+
+    label_a: str
+    label_b: str
+    rows: list[DiffRow] = field(default_factory=list)
+
+    @property
+    def changed(self) -> list[DiffRow]:
+        return [row for row in self.rows if row.changed]
+
+    @property
+    def identical(self) -> bool:
+        return not self.changed
+
+    def as_dict(self) -> dict:
+        return {
+            "a": self.label_a,
+            "b": self.label_b,
+            "cells": len(self.rows),
+            "changed": len(self.changed),
+            "identical": self.identical,
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+    def render(self, only_changed: bool = False) -> str:
+        def fmt(value, pattern="{:.3f}") -> str:
+            return "-" if value is None else pattern.format(value)
+
+        rows = self.changed if only_changed else self.rows
+        table_rows = [
+            [
+                row.name,
+                row.status_a if row.status_a == row.status_b
+                else f"{row.status_a} -> {row.status_b}",
+                fmt(row.latency_a),
+                fmt(row.latency_b),
+                fmt(row.latency_delta_ms, "{:+.3f}"),
+                fmt(row.gap_delta_ms, "{:+.3f}"),
+                "-" if row.evaluations_a is None or row.evaluations_b is None
+                else f"{row.evaluations_b - row.evaluations_a:+d}",
+            ]
+            for row in rows
+        ]
+        blocks = []
+        if table_rows:
+            blocks.append(render_table(
+                ["cell", "status", "latency A (ms)", "latency B (ms)",
+                 "Δ latency (ms)", "Δ gap (ms)", "Δ evals"],
+                table_rows,
+                title=f"Sweep diff: A={self.label_a}  B={self.label_b}",
+            ))
+        verdict = (
+            "Runs are identical cell for cell."
+            if self.identical
+            else f"{len(self.changed)}/{len(self.rows)} cell(s) differ."
+        )
+        blocks.append(verdict)
+        text = "\n\n".join(blocks)
+        return "\n".join(line.rstrip() for line in text.splitlines())
+
+
+def diff_results(
+    a: _RunLike,
+    b: _RunLike,
+    *,
+    label_a: Optional[str] = None,
+    label_b: Optional[str] = None,
+) -> SweepDiff:
+    """Per-uid delta table between two saved runs (checkpoint-aware).
+
+    Every uid present in either run gets a row; a cell missing from one
+    side is reported with status ``missing`` rather than dropped, so a
+    partial (crashed) run diffs cleanly against its completed re-run.
+    """
+    outcomes_a, failures_a = load_run(a)
+    outcomes_b, failures_b = load_run(b)
+
+    def describe(uid: str, outcomes, failures) -> tuple:
+        outcome = outcomes.get(uid)
+        if outcome is not None:
+            return ("ok", outcome.task.name, outcome.best_latency_ms,
+                    outcome.best_gap_ms, outcome.evaluations)
+        failure = failures.get(uid)
+        if failure is not None:
+            return ("failed", failure.task.name, None, None, None)
+        return ("missing", None, None, None, None)
+
+    rows = []
+    for uid in sorted(set(outcomes_a) | set(failures_a)
+                      | set(outcomes_b) | set(failures_b)):
+        status_a, name_a, latency_a, gap_a, evals_a = \
+            describe(uid, outcomes_a, failures_a)
+        status_b, name_b, latency_b, gap_b, evals_b = \
+            describe(uid, outcomes_b, failures_b)
+        rows.append(DiffRow(
+            uid=uid,
+            name=name_a or name_b or uid,
+            status_a=status_a,
+            status_b=status_b,
+            latency_a=latency_a,
+            latency_b=latency_b,
+            gap_a=gap_a,
+            gap_b=gap_b,
+            evaluations_a=evals_a,
+            evaluations_b=evals_b,
+        ))
+    return SweepDiff(
+        label_a=str(label_a if label_a is not None else a),
+        label_b=str(label_b if label_b is not None else b),
+        rows=rows,
+    )

@@ -318,6 +318,61 @@ class PreparedDevice:
             "prep_duration_s": self.prep_duration_s,
         }
 
+    @property
+    def wire_key(self) -> str:
+        """Stable reference for shipping this artifact exactly once per key.
+
+        Mirrors :attr:`SweepTask.prep_key` (not the coefficients
+        fingerprint: two preparations differing only in ``top_bundles`` or
+        ``utilization`` share a fit but select different bundles, so the
+        fingerprint alone would alias them).  Floats are rendered with
+        ``repr`` — exact, like ``prep_key``'s value equality — so two
+        distinct preparations can never alias one key.
+        """
+        return (
+            f"{self.device}|{self.clock_mhz!r}|{self.utilization!r}"
+            f"|{self.top_bundles}"
+        )
+
+    def to_wire(self) -> dict:
+        """Full JSON view, coefficients included, for cross-machine shipping.
+
+        Unlike :meth:`as_dict`, every fitted coefficient travels along.
+        Python's JSON encoder emits the shortest round-tripping ``repr`` of
+        each float, so a ``to_wire`` → ``from_wire`` trip is bit-exact and
+        a remote worker produces journals byte-identical to an in-process
+        run with the pickled artifact.
+        """
+        from dataclasses import fields as coeff_fields
+
+        payload = self.as_dict()
+        payload["coefficients"] = {
+            field.name: float(getattr(self.coefficients, field.name))
+            for field in coeff_fields(type(self.coefficients))
+        }
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "PreparedDevice":
+        """Rebuild a shipped artifact from its :meth:`to_wire` JSON view."""
+        from repro.hw.analytical import AnalyticalModelCoefficients
+
+        coefficients = payload.get("coefficients")
+        if not isinstance(coefficients, Mapping):
+            raise ValueError("wire payload is missing the fitted coefficients")
+        return cls(
+            device=str(payload["device"]),
+            clock_mhz=float(payload["clock_mhz"]),
+            utilization=float(payload["utilization"]),
+            top_bundles=int(payload["top_bundles"]),
+            coefficients=AnalyticalModelCoefficients(
+                **{str(k): float(v) for k, v in coefficients.items()}
+            ),
+            selected_bundle_ids=tuple(int(b) for b in payload["selected_bundle_ids"]),
+            fingerprint=str(payload["fingerprint"]),
+            prep_duration_s=float(payload.get("prep_duration_s", 0.0)),
+        )
+
 
 def _task_flow(task: SweepTask):
     """Build the co-design flow for one sweep task (device resolved inside)."""
@@ -757,6 +812,18 @@ class SweepRunner:
     exponential retry backoff (0 disables it); ``timeout_scale`` scales
     the per-cell timeout from the cell's recorded cost hint, with
     ``timeout_s`` as the floor.
+
+    ``transport`` swaps the execution phase out without touching any of
+    the surrounding machinery (grid validation, shared preparation,
+    resume, checkpointing, cost hints, result assembly): an object with an
+    ``execute(runner, order, preparations)`` method receives the cost-
+    ordered cell indices still to run and returns
+    ``(outcomes_by_index, failures_by_index)``, streaming each settled
+    cell through ``runner.settle_outcome`` / ``runner.settle_failure`` so
+    the incremental checkpoint stays live.  ``transport=None`` (the
+    default) keeps the built-in local schedules;
+    :class:`repro.shard.CoordinatorTransport` serves the same cells to
+    remote workers over HTTP instead.
     """
 
     SCHEDULES = ("steal", "chunked")
@@ -786,6 +853,7 @@ class SweepRunner:
         share_preparation: bool = True,
         resume_from: Union[str, pathlib.Path, SweepResult, None] = None,
         task_fn: Callable[..., SweepOutcome] = run_sweep_task,
+        transport=None,
     ) -> None:
         if not tasks:
             raise ValueError("At least one sweep task is required")
@@ -826,6 +894,11 @@ class SweepRunner:
         self.share_preparation = share_preparation
         self.resume_from = resume_from
         self.task_fn = task_fn
+        if transport is not None and not callable(getattr(transport, "execute", None)):
+            raise TypeError(
+                "transport must provide an execute(runner, order, preparations) method"
+            )
+        self.transport = transport
         # Per-run state (filled by run()): effective per-index timeouts, the
         # incremental checkpoint writer and the parsed resume source.
         self._timeouts: dict[int, Optional[float]] = {}
@@ -984,13 +1057,23 @@ class SweepRunner:
                 writer.record_outcome(outcome)
         return writer
 
-    def _settled_outcome(self, outcome: SweepOutcome) -> None:
+    def settle_outcome(self, outcome: SweepOutcome) -> None:
+        """Checkpoint one settled outcome (transports call this as cells land)."""
         if self._writer is not None:
             self._writer.record_outcome(outcome)
 
-    def _settled_failure(self, failure: SweepFailure) -> None:
+    def settle_failure(self, failure: SweepFailure) -> None:
+        """Checkpoint one settled failure (transports call this as cells land)."""
         if self._writer is not None:
             self._writer.record_failure(failure)
+
+    # Internal spellings kept for the built-in schedules.
+    _settled_outcome = settle_outcome
+    _settled_failure = settle_failure
+
+    def effective_timeout_for(self, index: int) -> Optional[float]:
+        """The hint-scaled per-cell timeout computed for this run (or None)."""
+        return self._timeouts.get(index, self.timeout_s)
 
     # ----------------------------------------------------------- preparation
     def _prepare_devices(self, tasks: Sequence[SweepTask]) -> dict[tuple, PreparedDevice]:
@@ -1040,6 +1123,9 @@ class SweepRunner:
             if not to_run:
                 outcomes_by_index: dict[int, SweepOutcome] = {}
                 failures_by_index: dict[int, SweepFailure] = {}
+            elif self.transport is not None:
+                outcomes_by_index, failures_by_index = \
+                    self.transport.execute(self, order, preparations)
             elif self.workers == 1 and self.timeout_s is None:
                 outcomes_by_index, failures_by_index = self._run_serial(to_run, preparations)
             elif self.schedule == "chunked":

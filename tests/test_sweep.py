@@ -467,6 +467,137 @@ class TestSweepCLI:
             main(["sweep", "--devices", "bogus", "--fps", "40"])
 
 
+class TestCLIArgumentHardening:
+    """Bad numeric arguments die as argparse usage errors (exit code 2),
+    not as tracebacks deep inside the runner after workers spawned."""
+
+    @pytest.mark.parametrize("argv", [
+        ["sweep", "--workers", "0"],
+        ["sweep", "--workers", "-3"],
+        ["sweep", "--workers", "two"],
+        ["sweep", "--timeout-s", "-1"],
+        ["sweep", "--timeout-s", "0"],
+        ["sweep", "--retries", "-1"],
+        ["sweep", "--retry-backoff-s", "-0.5"],
+        ["sweep", "--timeout-scale", "0"],
+        ["sweep", "--iterations", "0"],
+        ["sweep", "--fps", "-40"],
+        ["search", "--workers", "0"],
+        ["shard", "worker", "--connect", "x", "--workers", "0"],
+        ["shard", "coordinator", "--lease-ttl-s", "0"],
+        ["shard", "coordinator", "--retries", "-1"],
+    ])
+    def test_invalid_numeric_arguments_exit_2(self, argv, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error: argument" in err
+
+    def test_valid_arguments_still_parse(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "sweep", "--devices", "pynq-z1", "--strategies", "scd",
+            "--fps", "40", "--tolerance-ms", "10", "--top-bundles", "2",
+            "--candidates", "1", "--iterations", "25", "--seed", "1",
+            "--workers", "1", "--retries", "0", "--retry-backoff-s", "0",
+        ]) == 0
+
+
+# ----------------------------------------------------------------- run diffing
+class TestCompareDiff:
+    def _result(self, tmp_path, name, fps=(40.0,), cache=None):
+        tasks = build_grid("pynq-z1", "scd", list(fps), **TINY)
+        result = SweepRunner(tasks, workers=1, cache_dir=cache).run()
+        path = result.save(tmp_path / name)
+        return result, path
+
+    def test_identical_runs_diff_clean(self, tmp_path):
+        from repro.sweep import diff_results
+
+        _, a = self._result(tmp_path, "a.json")
+        _, b = self._result(tmp_path, "b.json")
+        diff = diff_results(a, b)
+        assert diff.identical
+        assert len(diff.rows) == 1 and diff.rows[0].status_a == "ok"
+        assert "identical cell for cell" in diff.render()
+
+    def test_missing_and_failed_cells_reported(self, tmp_path):
+        from repro.sweep import SweepResult, diff_results
+
+        result_a, path_a = self._result(tmp_path, "a.json", fps=(40.0, 30.0))
+        # Run B: one cell missing, the other failed.
+        failed = SweepResult(
+            outcomes=[],
+            workers=1,
+            failures=[SweepFailure(task=result_a.outcomes[0].task, kind="timeout",
+                                   error="exceeded 1s", attempts=2)],
+        )
+        path_b = failed.save(tmp_path / "b.json")
+        diff = diff_results(path_a, path_b)
+        assert not diff.identical
+        by_status = {(r.status_a, r.status_b) for r in diff.rows}
+        assert by_status == {("ok", "failed"), ("ok", "missing")}
+        rendered = diff.render()
+        assert "ok -> failed" in rendered and "ok -> missing" in rendered
+        assert "2/2 cell(s) differ" in rendered
+        assert diff.render(only_changed=True).count("->") == 2
+
+    def test_checkpoint_aware_sources(self, tmp_path):
+        """A _checkpoint.jsonl diffs directly against a saved result."""
+        from repro.sweep import CHECKPOINT_FILENAME, diff_results
+
+        cache = tmp_path / "cache"
+        result, path = self._result(tmp_path, "a.json", cache=str(cache))
+        diff = diff_results(cache / CHECKPOINT_FILENAME, path)
+        assert diff.identical and len(diff.rows) == 1
+        # And an in-memory result works as either side.
+        assert diff_results(result, path).identical
+
+    def test_latency_and_evaluation_deltas(self):
+        from repro.sweep import SweepResult, diff_results
+
+        def result_with(latency, evals):
+            outcome = _outcome("PYNQ-Z1", "scd", 20.0, records=evals, cached=0,
+                               candidates=1, gap=None)
+            outcome.best_latency_ms = latency
+            outcome.best_gap_ms = abs(latency - 50.0)
+            outcome.evaluations = evals
+            return SweepResult(outcomes=[outcome], workers=1)
+
+        diff = diff_results(result_with(48.0, 40), result_with(51.0, 44),
+                            label_a="old", label_b="new")
+        row = diff.rows[0]
+        assert row.latency_delta_ms == pytest.approx(3.0)
+        assert row.gap_delta_ms == pytest.approx(-1.0)
+        assert row.evaluations_b - row.evaluations_a == 4
+        payload = json.loads(json.dumps(diff.as_dict()))
+        assert payload["a"] == "old" and payload["changed"] == 1
+        assert payload["rows"][0]["latency_delta_ms"] == pytest.approx(3.0)
+
+    def test_compare_cli_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _, a = self._result(tmp_path, "a.json")
+        _, b = self._result(tmp_path, "b.json")
+        report = tmp_path / "diff.json"
+        assert main(["compare", "--diff", str(a), str(b),
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "identical cell for cell" in out
+        payload = json.loads(report.read_text())
+        assert payload["identical"] is True
+
+    def test_compare_cli_requires_diff(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["compare"])
+
+
 # -------------------------------------------------------- shared preparation
 class TestPreparedDevice:
     def test_prepared_matches_inline_preparation(self, tmp_path):

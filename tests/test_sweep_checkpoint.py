@@ -585,3 +585,60 @@ class TestSidecarGC:
         warm = SweepRunner(tasks, workers=1, cache_dir=tmp_path,
                            resume_from=tmp_path / CHECKPOINT_FILENAME).run()
         assert warm.reused == 1
+
+
+class TestConcurrentCheckpointWriter:
+    """PR-5 concurrent-writer safety: the shard coordinator settles cells
+    from parallel HTTP handler threads into one CheckpointWriter."""
+
+    def _grid(self, n):
+        return build_grid("pynq-z1", "scd", [float(10 + i) for i in range(n)],
+                          **TINY)
+
+    def _outcome(self, task):
+        from repro.utils.serialization import to_jsonable
+
+        payload = json.loads(json.dumps({
+            "task": to_jsonable(task),
+            "journal": {"records": [], "candidates": []},
+            "selected_bundles": [13],
+            "num_candidates": 1,
+            "best_latency_ms": 10.0,
+            "best_gap_ms": 0.5,
+            "evaluations": 3,
+            "memory_hits": 0,
+            "memory_misses": 3,
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "estimator_calls": 3,
+            "duration_s": 0.1,
+        }))
+        from repro.sweep import SweepOutcome
+
+        return SweepOutcome.from_dict(payload)
+
+    def test_parallel_appends_produce_a_clean_checkpoint(self, tmp_path):
+        import threading
+
+        tasks = self._grid(24)
+        writer = CheckpointWriter(tmp_path / CHECKPOINT_FILENAME,
+                                  grid=[t.uid for t in tasks])
+        barrier = threading.Barrier(8)
+
+        def record(chunk):
+            barrier.wait()
+            for task in chunk:
+                writer.record_outcome(self._outcome(task))
+
+        threads = [
+            threading.Thread(target=record, args=(tasks[i::8],))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        status = load_checkpoint(tmp_path / CHECKPOINT_FILENAME)
+        assert status.corrupt_lines == 0, "interleaved writes must not tear lines"
+        assert set(status.outcomes) == {t.uid for t in tasks}
+        assert all(writer.has_outcome(t.uid) for t in tasks)
