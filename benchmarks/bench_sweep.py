@@ -7,14 +7,21 @@ sweep — both in wall time and in avoided estimator invocations (the
 deterministic, machine-independent measure) — and (3) the cost of resuming
 an already-complete sweep from its checkpoint (the floor every partial
 resume builds on: reused cells are replayed from disk, not re-searched).
+
+The perf-trajectory test at the bottom additionally writes
+``BENCH_sweep.json`` (to ``$REPRO_BENCH_DIR`` or the working directory):
+candidates/sec, cache hit rates and prep share, so CI can archive one
+comparable perf artifact per run.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
+import repro.telemetry as telemetry
 from repro.sweep import CHECKPOINT_FILENAME, SweepRunner, build_grid
 
 #: Tiny but non-trivial grid: 2 devices x 2 strategies, one target each.
@@ -172,4 +179,71 @@ def test_cold_vs_warm_disk_cache(benchmark, tmp_path):
     assert cold.estimator_calls > 0
     assert warm.estimator_calls == 0
     assert hit_rate == 1.0
+    assert _journals(cold) == _journals(warm)
+
+
+def test_perf_trajectory_bench_json(benchmark, tmp_path):
+    """Cold + warm telemetry-instrumented runs, archived as BENCH_sweep.json.
+
+    The headline figure is candidates/sec (estimator invocations over wall
+    time — the quantity the evaluation cache and shared preparation exist to
+    improve), alongside memory/disk cache hit rates and the share of wall
+    time spent in preparation.  The JSON lands in ``$REPRO_BENCH_DIR`` (or
+    the working directory) so successive CI runs build a perf trajectory.
+    """
+    from repro.telemetry import write_bench_json
+
+    tasks = build_grid(**GRID, **BUDGET)
+    cache_dir = tmp_path / "sweep-cache"
+    telemetry.enable(fresh=True)
+    try:
+        start = time.perf_counter()
+        cold = SweepRunner(tasks, workers=1, cache_dir=cache_dir).run()
+        cold_time = time.perf_counter() - start
+
+        warm = benchmark.pedantic(
+            lambda: SweepRunner(tasks, workers=1, cache_dir=cache_dir).run(),
+            rounds=3, iterations=1, warmup_rounds=1,
+        )
+        warm_time = benchmark.stats.stats.mean
+        # One extra instrumented warm run on a fresh registry: the benchmark
+        # rounds above accumulate several runs' worth of counters, but the
+        # rates below need exactly one run's totals.
+        telemetry.enable(fresh=True)
+        warm = SweepRunner(tasks, workers=1, cache_dir=cache_dir).run()
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+
+    counters = snap.counters
+    mem_hits = counters.get("search.cache.hits", 0)
+    mem_misses = counters.get("search.cache.misses", 0)
+    disk_hits = counters.get("sweep.disk_cache.hits", 0)
+    disk_misses = counters.get("sweep.disk_cache.misses", 0)
+    candidates = mem_hits + mem_misses
+    metrics = {
+        "cells": len(tasks),
+        "cold_wall_s": round(cold_time, 4),
+        "warm_wall_s": round(warm_time, 4),
+        "cold_estimator_calls": cold.estimator_calls,
+        "warm_estimator_calls": warm.estimator_calls,
+        "candidates_per_s": round(candidates / warm_time, 2) if warm_time > 0 else 0.0,
+        "memory_hit_rate": round(mem_hits / candidates, 4) if candidates else 0.0,
+        "disk_hit_rate": round(disk_hits / (disk_hits + disk_misses), 4)
+        if (disk_hits + disk_misses) else 0.0,
+        "prep_share": round(warm.prep_time_s / warm_time, 4) if warm_time > 0 else 0.0,
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = write_bench_json(
+        os.path.join(out_dir, "BENCH_sweep.json"),
+        bench="sweep",
+        metrics=metrics,
+        meta={"grid": GRID, "budget": BUDGET},
+        snapshot=snap,
+    )
+    print(f"\n[sweep perf trajectory] {metrics['candidates_per_s']:.0f} candidates/s "
+          f"(memory hit rate {metrics['memory_hit_rate']:.1%}, "
+          f"disk hit rate {metrics['disk_hit_rate']:.1%}) -> {path}")
+    assert os.path.exists(path)
+    assert candidates > 0
     assert _journals(cold) == _journals(warm)

@@ -56,6 +56,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.telemetry as telemetry
 from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
 from repro.core.auto_hls import AutoHLS
 from repro.detection.task import DAC_SDC_TASK
@@ -165,19 +166,45 @@ def _add_persistence_args(parser: argparse.ArgumentParser) -> None:
                         help="write the comparison report JSON to this path")
 
 
+def _common_flags() -> argparse.ArgumentParser:
+    """Logging / telemetry flags accepted by every subcommand.
+
+    The flags use ``default=argparse.SUPPRESS`` so a subparser never
+    overwrites a value given before the subcommand
+    (``repro-codesign -v sweep`` and ``repro-codesign sweep -v`` both work);
+    ``main`` reads them with ``getattr`` fallbacks.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("logging / telemetry")
+    group.add_argument("-v", "--verbose", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="enable INFO logging (shortcut for --log-level info)")
+    group.add_argument("--log-level", default=argparse.SUPPRESS,
+                       choices=["debug", "info", "warning", "error"],
+                       help="console log level for the repro logger tree")
+    group.add_argument("--telemetry", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="enable metrics/tracing; sweeps write a "
+                            "_telemetry.jsonl sidecar next to the checkpoint")
+    return common
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    common = _common_flags()
     parser = argparse.ArgumentParser(
         prog="repro-codesign",
         description="FPGA/DNN co-design (DAC 2019) reproduction",
+        parents=[common],
     )
-    parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    codesign = sub.add_parser("codesign", help="run the full co-design flow")
+    codesign = sub.add_parser("codesign", help="run the full co-design flow",
+                              parents=[common])
     codesign.add_argument("--device", default="pynq-z1", help=f"target device ({', '.join(list_devices())})")
     _add_budget_args(codesign)
 
-    search = sub.add_parser("search", help="run the DNN search with a pluggable strategy")
+    search = sub.add_parser("search", help="run the DNN search with a pluggable strategy",
+                            parents=[common])
     search.add_argument("--strategy", default="scd", choices=available_strategies(),
                         help="exploration strategy")
     search.add_argument("--workers", type=_positive_int, default=1,
@@ -188,7 +215,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_budget_args(search)
 
     sweep = sub.add_parser(
-        "sweep", help="fan a device x strategy x target grid across worker processes"
+        "sweep", help="fan a device x strategy x target grid across worker processes",
+        parents=[common],
     )
     _add_grid_args(sweep)
     sweep.add_argument("--workers", type=_positive_int, default=1,
@@ -210,6 +238,7 @@ def _build_parser() -> argparse.ArgumentParser:
     coordinator = shard_sub.add_parser(
         "coordinator",
         help="own the grid: lease cells to workers, merge + checkpoint results",
+        parents=[common],
     )
     coordinator.add_argument("--bind", default="127.0.0.1:8765", metavar="HOST:PORT",
                              help="address to listen on (0.0.0.0:PORT for all interfaces)")
@@ -225,7 +254,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_budget_args(coordinator)
 
     worker = shard_sub.add_parser(
-        "worker", help="execute leased cells for a coordinator and stream results back"
+        "worker", help="execute leased cells for a coordinator and stream results back",
+        parents=[common],
     )
     worker.add_argument("--connect", required=True, metavar="HOST:PORT",
                         help="coordinator address (http:// is implied)")
@@ -237,8 +267,37 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--name", default=None,
                         help="worker display name (default: hostname-pid)")
 
+    status = shard_sub.add_parser(
+        "status",
+        help="query a live coordinator's /v1/metrics (lease counters, workers)",
+        parents=[common],
+    )
+    status.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address (http:// is implied)")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw /v1/metrics JSON payload")
+
+    telemetry_cmd = sub.add_parser(
+        "telemetry", help="inspect the telemetry recorded by a sweep",
+        parents=[common],
+    )
+    telemetry_sub = telemetry_cmd.add_subparsers(dest="action", required=True)
+    tele_report = telemetry_sub.add_parser(
+        "report",
+        help="summarise a sweep's checkpoint + _telemetry.jsonl sidecar",
+        parents=[common],
+    )
+    tele_report.add_argument("--cache-dir", required=True,
+                             help="sweep cache directory (holds the checkpoint "
+                                  "and telemetry sidecar)")
+    tele_report.add_argument("--top", type=_positive_int, default=5,
+                             help="how many slowest cells to list")
+    tele_report.add_argument("--json", action="store_true",
+                             help="print the report as JSON instead of text")
+
     compare_cmd = sub.add_parser(
-        "compare", help="diff two saved sweep runs (results, reports or checkpoints)"
+        "compare", help="diff two saved sweep runs (results, reports or checkpoints)",
+        parents=[common],
     )
     compare_cmd.add_argument("--diff", nargs=2, required=True, metavar=("A", "B"),
                              help="two sweep result/report JSONs or _checkpoint.jsonl files")
@@ -248,7 +307,8 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="write the diff as JSON to this path")
 
     cache = sub.add_parser(
-        "cache", help="inspect or compact a persistent sweep evaluation-cache directory"
+        "cache", help="inspect or compact a persistent sweep evaluation-cache directory",
+        parents=[common],
     )
     cache.add_argument("action", choices=["stats", "gc"],
                        help="stats: summarise the directory; gc: compact and evict")
@@ -258,17 +318,20 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-size-mb", type=float, default=None,
                        help="gc: evict oldest entries until the directory fits this budget")
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
+    experiment = sub.add_parser("experiment", help="regenerate a paper artefact",
+                                parents=[common])
     experiment.add_argument("name", choices=["fig4", "fig5", "fig6", "table2", "ablations"],
                             help="which table / figure to regenerate")
 
-    codegen = sub.add_parser("codegen", help="generate accelerator C code for a reference design")
+    codegen = sub.add_parser("codegen", help="generate accelerator C code for a reference design",
+                             parents=[common])
     codegen.add_argument("--design", choices=["DNN1", "DNN2", "DNN3"], default="DNN1")
     codegen.add_argument("--device", default="pynq-z1")
     codegen.add_argument("--clock", type=float, default=100.0)
     codegen.add_argument("--output", default="./generated", help="output directory")
 
-    bundles = sub.add_parser("bundles", help="list the default bundle catalogue")
+    bundles = sub.add_parser("bundles", help="list the default bundle catalogue",
+                             parents=[common])
     del bundles
     return parser
 
@@ -447,7 +510,23 @@ def _run_shard(args: argparse.Namespace) -> int:
             ),
         )
         runner = _build_sweep_runner(args, transport=transport)
-        return _report_sweep_result(runner.run(), args)
+        result = runner.run()
+        counts = transport.final_counts
+        if counts:
+            print(
+                "Shard leases: granted={granted} completed={completed} "
+                "requeued={requeued} expired={expired} revoked={revoked} "
+                "duplicates={duplicates} failed={failed}".format(**counts)
+            )
+            for entry in transport.final_workers or []:
+                print(
+                    f"  worker {entry['worker_id']} ({entry['name']}): "
+                    f"leased={entry['leased']} completed={entry['completed']} "
+                    f"errors={entry['errors']} busy={entry['busy_s']:.1f}s"
+                )
+        return _report_sweep_result(result, args)
+    if args.role == "status":
+        return _run_shard_status(args)
     if args.role == "worker":
         from repro.shard import ShardWorker
 
@@ -462,6 +541,68 @@ def _run_shard(args: argparse.Namespace) -> int:
               f"{worker.reported_errors} error(s) reported, exit {code}")
         return code
     raise ValueError(f"Unknown shard role {args.role}")  # pragma: no cover
+
+
+def _run_shard_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.shard.protocol import ShardProtocolError, get_json
+
+    base = args.connect.rstrip("/")
+    if not base.startswith(("http://", "https://")):
+        base = "http://" + base
+    try:
+        payload = get_json(base, "/v1/metrics")
+    except ShardProtocolError as exc:
+        print(f"repro-codesign shard status: cannot reach coordinator: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    counts = payload.get("counts") or {}
+    lease = payload.get("lease_metrics") or {}
+    print(f"Coordinator {base} (protocol v{payload.get('version', '?')})")
+    print(
+        "  cells: {cells} total, {pending} pending, {leased} leased, "
+        "{settled} settled, {failed} failed".format(
+            cells=counts.get("cells", 0), pending=counts.get("pending", 0),
+            leased=counts.get("leased", 0), settled=counts.get("settled", 0),
+            failed=counts.get("failed", 0),
+        )
+    )
+    print(
+        "  leases: granted={granted} completed={completed} requeued={requeued} "
+        "expired={expired} revoked={revoked} duplicates={duplicates} "
+        "failed={failed} heartbeats={heartbeats}".format(
+            **{key: lease.get(key, 0) for key in (
+                "granted", "completed", "requeued", "expired", "revoked",
+                "duplicates", "failed", "heartbeats")}
+        )
+    )
+    for entry in payload.get("workers") or []:
+        print(
+            f"  worker {entry.get('worker_id')} ({entry.get('name')}): "
+            f"leased={entry.get('leased', 0)} completed={entry.get('completed', 0)} "
+            f"errors={entry.get('errors', 0)} busy={entry.get('busy_s', 0.0):.1f}s "
+            f"last seen {entry.get('last_seen_s', 0.0):.1f}s ago"
+        )
+    if payload.get("telemetry") is None:
+        print("  telemetry: disabled on the coordinator")
+    return 0
+
+
+def _run_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import build_report
+
+    report = build_report(args.cache_dir)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(top=args.top))
+    return 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:
@@ -579,8 +720,15 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-codesign`` console script."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.verbose:
+    log_level = getattr(args, "log_level", None)
+    if log_level is not None:
+        configure_logging(log_level)
+    elif getattr(args, "verbose", False):
         configure_logging()
+    if getattr(args, "telemetry", False):
+        telemetry.enable()
+    if args.command == "telemetry":
+        return _run_telemetry(args)
     if args.command == "codesign":
         return _run_codesign(args)
     if args.command == "search":

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+import repro.telemetry as telemetry
 from repro.core.bundle import Bundle
 from repro.core.dnn_config import DNNConfig
 from repro.core.pareto import group_by, pareto_front
@@ -152,21 +153,26 @@ class BundleEvaluator:
         if not parallel_factors:
             raise ValueError("parallel_factors must contain at least one parallel factor")
         evaluations: list[BundleEvaluation] = []
-        for bundle in bundles:
-            accuracy = self._accuracy(self._config_for(bundle, method, parallel_factors[0]))
-            for pf in parallel_factors:
-                config = self._config_for(bundle, method, pf)
-                latency, resources = self._estimate(config)
-                evaluations.append(BundleEvaluation(
-                    bundle=bundle,
-                    parallel_factor=pf,
-                    latency_ms=latency,
-                    accuracy=accuracy,
-                    resources=resources,
-                    dsp=resources.dsp,
-                    method=method,
-                    config=config,
-                ))
+        with telemetry.trace("core.bundle_evaluation.coarse", method=method,
+                             bundles=len(bundles)):
+            for bundle in bundles:
+                accuracy = self._accuracy(self._config_for(bundle, method, parallel_factors[0]))
+                for pf in parallel_factors:
+                    config = self._config_for(bundle, method, pf)
+                    latency, resources = self._estimate(config)
+                    evaluations.append(BundleEvaluation(
+                        bundle=bundle,
+                        parallel_factor=pf,
+                        latency_ms=latency,
+                        accuracy=accuracy,
+                        resources=resources,
+                        dsp=resources.dsp,
+                        method=method,
+                        config=config,
+                    ))
+        reg = telemetry.registry()
+        if reg is not None:
+            reg.counter("core.bundle_evaluation.evaluations").inc(len(evaluations))
         logger.info("Coarse evaluation (method #%d): %d records", method, len(evaluations))
         return evaluations
 
@@ -253,23 +259,27 @@ class BundleEvaluator:
     ) -> list[FineGrainedEvaluation]:
         """Fine-grained evaluation of the selected bundles (Fig. 5)."""
         results: list[FineGrainedEvaluation] = []
-        for bundle in bundles:
-            for reps in repetition_counts:
-                for activation in activations:
-                    config = self._config_for(
-                        bundle, method=2, parallel_factor=parallel_factor,
-                        activation=activation, num_repetitions=reps,
-                    )
-                    latency, resources = self._estimate(config)
-                    accuracy = self._accuracy(config)
-                    results.append(FineGrainedEvaluation(
-                        bundle=bundle,
-                        num_repetitions=reps,
-                        activation=activation,
-                        latency_ms=latency,
-                        accuracy=accuracy,
-                        resources=resources,
-                        config=config,
-                    ))
+        with telemetry.trace("core.bundle_evaluation.fine", bundles=len(bundles)):
+            for bundle in bundles:
+                for reps in repetition_counts:
+                    for activation in activations:
+                        config = self._config_for(
+                            bundle, method=2, parallel_factor=parallel_factor,
+                            activation=activation, num_repetitions=reps,
+                        )
+                        latency, resources = self._estimate(config)
+                        accuracy = self._accuracy(config)
+                        results.append(FineGrainedEvaluation(
+                            bundle=bundle,
+                            num_repetitions=reps,
+                            activation=activation,
+                            latency_ms=latency,
+                            accuracy=accuracy,
+                            resources=resources,
+                            config=config,
+                        ))
+        reg = telemetry.registry()
+        if reg is not None:
+            reg.counter("core.bundle_evaluation.evaluations").inc(len(results))
         logger.info("Fine-grained evaluation: %d records", len(results))
         return results

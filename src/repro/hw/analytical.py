@@ -17,8 +17,10 @@ The equations implemented here:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
+import repro.telemetry as telemetry
 from repro.hw.device import FPGADevice
 from repro.hw.memory import DRAMTrafficModel
 from repro.hw.resource import ResourceVector
@@ -172,6 +174,16 @@ class DNNPerformanceModel:
 
     def estimate(self) -> PerformanceEstimate:
         """Eq. 4 latency and Eq. 5 resources of the full DNN."""
+        reg = telemetry.registry()
+        if reg is None:
+            return self._estimate()
+        start = time.perf_counter()
+        value = self._estimate()
+        reg.counter("hw.estimate.count").inc()
+        reg.histogram("hw.estimate.seconds").observe(time.perf_counter() - start)
+        return value
+
+    def _estimate(self) -> PerformanceEstimate:
         workload = self.accelerator.workload
         coeff = self.coefficients
 

@@ -23,6 +23,8 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
+import repro.telemetry as telemetry
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.dnn_config import DNNConfig
     from repro.hw.analytical import PerformanceEstimate
@@ -107,10 +109,13 @@ class EvaluationCache:
     def evaluate_with_info(self, config: "DNNConfig") -> tuple["PerformanceEstimate", bool]:
         """Evaluate one config; returns ``(estimate, served_from_cache)``."""
         key = self.key_fn(config)
+        reg = telemetry.registry()
         with self._lock:
             cached = self._store.get(key)
             if cached is not None:
                 self._hits += 1
+                if reg is not None:
+                    reg.counter("search.cache.hits").inc()
                 return cached, True
         # Estimate outside the lock; a concurrent duplicate computation is
         # harmless because the estimator is deterministic.
@@ -118,6 +123,8 @@ class EvaluationCache:
         with self._lock:
             self._store[key] = value
             self._misses += 1
+        if reg is not None:
+            reg.counter("search.cache.misses").inc()
         return value, False
 
     def evaluate_batch(
@@ -137,6 +144,7 @@ class EvaluationCache:
         results: list = [None] * len(configs)
         cached_flags = [False] * len(configs)
         missing: dict[str, int] = {}
+        batch_hits = batch_misses = 0
         with self._lock:
             for index, key in enumerate(keys):
                 value = self._store.get(key)
@@ -144,13 +152,22 @@ class EvaluationCache:
                     results[index] = value
                     cached_flags[index] = True
                     self._hits += 1
+                    batch_hits += 1
                 elif key not in missing:
                     missing[key] = index
                     self._misses += 1
+                    batch_misses += 1
                 else:
                     # Duplicate of a miss in the same batch: estimated once.
                     self._hits += 1
+                    batch_hits += 1
                     cached_flags[index] = True
+        reg = telemetry.registry()
+        if reg is not None:
+            if batch_hits:
+                reg.counter("search.cache.hits").inc(batch_hits)
+            if batch_misses:
+                reg.counter("search.cache.misses").inc(batch_misses)
         representatives = [configs[index] for index in missing.values()]
         if representatives:
             if parallel is not None:

@@ -51,6 +51,7 @@ from repro.shard.protocol import (
     require,
     task_to_wire,
 )
+import repro.telemetry as telemetry
 from repro.sweep.runner import PreparedDevice, SweepFailure, SweepOutcome, SweepTask
 from repro.utils.logging import get_logger
 
@@ -130,6 +131,13 @@ class LeaseBoard:
         self._worker_seq = 0
         self.outcomes: dict[int, SweepOutcome] = {}
         self.failures: dict[int, SweepFailure] = {}
+        # Lease-lifecycle counters, always on (they are a handful of integer
+        # adds under the lock the handlers hold anyway): `/v1/metrics` and
+        # `repro-codesign shard status` must work without --telemetry.
+        self.metrics: dict[str, int] = {
+            "granted": 0, "heartbeats": 0, "completed": 0, "failed": 0,
+            "requeued": 0, "expired": 0, "revoked": 0, "duplicates": 0,
+        }
 
     # ---------------------------------------------------------------- helpers
     @property
@@ -154,14 +162,42 @@ class LeaseBoard:
                 "done": status["settled"] == len(self._cells),
             }
 
+    # ----------------------------------------------------------- introspection
+    def metrics_counts(self) -> dict:
+        """Copy of the always-on lease-lifecycle counters."""
+        with self._lock:
+            return dict(self.metrics)
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker accounting for `/v1/metrics` and `shard status`."""
+        now = time.monotonic()
+        with self._lock:
+            return [
+                {
+                    "worker_id": worker_id,
+                    "name": info["name"],
+                    "leased": info.get("leased", 0),
+                    "completed": info.get("completed", 0),
+                    "errors": info.get("errors", 0),
+                    "busy_s": round(info.get("busy_s", 0.0), 3),
+                    "last_seen_s": round(max(now - info["last_seen"], 0.0), 3),
+                }
+                for worker_id, info in sorted(self._workers.items())
+            ]
+
     # --------------------------------------------------------------- protocol
     def register(self, name: str) -> str:
         with self._lock:
             self._worker_seq += 1
             worker_id = f"w{self._worker_seq}"
-            self._workers[worker_id] = {"name": name, "last_seen": time.monotonic()}
+            self._workers[worker_id] = {
+                "name": name, "last_seen": time.monotonic(),
+                "leased": 0, "completed": 0, "errors": 0, "busy_s": 0.0,
+            }
             logger.info("shard: worker %s (%s) registered", worker_id, name)
-            return worker_id
+        telemetry.event("shard.worker.registered", worker=worker_id,
+                        worker_name=name)
+        return worker_id
 
     def lease(self, worker_id: str, slots: int) -> list[_Cell]:
         """Lease up to ``slots`` ready cells to ``worker_id``."""
@@ -191,7 +227,18 @@ class LeaseBoard:
                     now + cell.timeout_s if cell.timeout_s is not None else None
                 )
                 cell.status = "leased"
+                self.metrics["granted"] += 1
+                worker = self._workers.get(worker_id)
+                if worker is not None:
+                    worker["leased"] = worker.get("leased", 0) + 1
                 leased.append(cell)
+        # Telemetry events fire outside the lock: the sink fsyncs per record,
+        # and handler threads must never block each other on disk.
+        for cell in leased:
+            telemetry.event(
+                "shard.lease.granted", uid=cell.task.uid, worker=worker_id,
+                lease=cell.lease_id, attempt=cell.attempts,
+            )
         return leased
 
     def heartbeat(self, worker_id: str, lease_ids: list[str]) -> list[str]:
@@ -201,6 +248,7 @@ class LeaseBoard:
         lost: list[str] = []
         with self._lock:
             self._touch(worker_id, now)
+            self.metrics["heartbeats"] += 1
             live = {
                 cell.lease_id: cell
                 for cell in self._cells.values()
@@ -242,6 +290,7 @@ class LeaseBoard:
         """
         settle_outcome: Optional[tuple[int, SweepOutcome]] = None
         settle_failure: Optional[tuple[int, SweepFailure]] = None
+        events: list[tuple[str, dict]] = []
         now = time.monotonic()
         with self._lock:
             self._touch(worker_id, now)
@@ -252,8 +301,10 @@ class LeaseBoard:
             if lease_id not in cell.issued_leases:
                 return (False, "unknown-lease")
             if cell.status == "settled":
+                self.metrics["duplicates"] += 1
                 return (False, "duplicate")
             cell.spent_s += max(float(duration_s), 0.0)
+            worker = self._workers.get(worker_id)
             if outcome is not None:
                 outcome.attempts = cell.attempts
                 if cell.status == "pending" and index in self._queue:
@@ -263,21 +314,33 @@ class LeaseBoard:
                 cell.worker_id = None
                 self.outcomes[index] = outcome
                 settle_outcome = (index, outcome)
+                self.metrics["completed"] += 1
+                if worker is not None:
+                    worker["completed"] = worker.get("completed", 0) + 1
+                    worker["busy_s"] = worker.get("busy_s", 0.0) + max(float(duration_s), 0.0)
+                events.append(("shard.cell.completed", {
+                    "uid": uid, "worker": worker_id,
+                    "duration_s": round(max(float(duration_s), 0.0), 6),
+                }))
             else:
                 if cell.status != "leased" or lease_id != cell.lease_id:
                     # The reaper already requeued this attempt (or another
                     # worker holds the cell now); the stale failure must
                     # not be charged a second time.
                     return (False, "stale-lease")
+                if worker is not None:
+                    worker["errors"] = worker.get("errors", 0) + 1
                 verdict = ("error", error or "worker reported an unspecified error")
                 settled = self._requeue_or_fail(cell, verdict, now)
                 if settled is not None:
                     settle_failure = (index, settled)
-        # Callbacks run outside the lock: they fsync the checkpoint.
+        # Callbacks and telemetry events run outside the lock: they fsync.
         if settle_outcome is not None and self.on_outcome is not None:
             self.on_outcome(*settle_outcome)
         if settle_failure is not None and self.on_failure is not None:
             self.on_failure(*settle_failure)
+        for name, attrs in events:
+            telemetry.event(name, **attrs)
         return (True, "settled" if settle_outcome or settle_failure else "requeued")
 
     def expire_leases(self) -> int:
@@ -305,6 +368,7 @@ class LeaseBoard:
             cell.ready_at = now + self.backoff(cell.attempts)
             cell.status = "pending"
             self._queue.append(cell.index)
+            self.metrics["requeued"] += 1
             return None
         failure = SweepFailure(
             task=cell.task, kind=verdict[0], error=verdict[1],
@@ -312,10 +376,12 @@ class LeaseBoard:
         )
         cell.status = "settled"
         self.failures[cell.index] = failure
+        self.metrics["failed"] += 1
         return failure
 
     def _expire_locked_leases(self, now: float) -> int:
         settled: list[tuple[int, SweepFailure]] = []
+        events: list[tuple[str, dict]] = []
         expired = 0
         with self._lock:
             for cell in self._cells.values():
@@ -328,6 +394,11 @@ class LeaseBoard:
                         f"exceeded the {cell.timeout_s:g}s per-cell timeout "
                         f"on worker {cell.worker_id}",
                     )
+                    self.metrics["revoked"] += 1
+                    events.append(("shard.lease.revoked", {
+                        "uid": cell.task.uid, "worker": cell.worker_id,
+                        "lease": cell.lease_id,
+                    }))
                 elif now > cell.expires_at:
                     cell.spent_s += now - cell.lease_started
                     verdict = (
@@ -335,6 +406,11 @@ class LeaseBoard:
                         f"worker {cell.worker_id} stopped heartbeating "
                         f"(lease expired after {self.lease_ttl_s:g}s)",
                     )
+                    self.metrics["expired"] += 1
+                    events.append(("shard.lease.expired", {
+                        "uid": cell.task.uid, "worker": cell.worker_id,
+                        "lease": cell.lease_id,
+                    }))
                 else:
                     continue
                 expired += 1
@@ -344,6 +420,8 @@ class LeaseBoard:
         for index, failure in settled:
             if self.on_failure is not None:
                 self.on_failure(index, failure)
+        for name, attrs in events:
+            telemetry.event(name, **attrs)
         return expired
 
 
@@ -379,8 +457,11 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         return payload
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path.rstrip("/") == "/v1/status":
+        route = self.path.rstrip("/")
+        if route == "/v1/status":
             self._reply(self.coordinator.status())
+        elif route == "/v1/metrics":
+            self._reply(self.coordinator.metrics())
         else:
             self._reply({"error": f"unknown endpoint {self.path}"}, status=404)
 
@@ -453,6 +534,22 @@ class ShardCoordinator:
         counts = self.board.counts()
         counts["version"] = PROTOCOL_VERSION
         return counts
+
+    def metrics(self) -> dict:
+        """`/v1/metrics`: lease counters, per-worker stats, telemetry snapshot.
+
+        The lease counters and worker stats are always on; the ``telemetry``
+        key is ``None`` unless the coordinator process runs with telemetry
+        enabled (``--telemetry`` / ``REPRO_TELEMETRY=1``).
+        """
+        snap = telemetry.snapshot()
+        return {
+            "version": PROTOCOL_VERSION,
+            "counts": self.board.counts(),
+            "lease_metrics": self.board.metrics_counts(),
+            "workers": self.board.worker_stats(),
+            "telemetry": snap.as_dict() if snap is not None else None,
+        }
 
     def handle_register(self, payload: Mapping) -> dict:
         version = payload.get("version", PROTOCOL_VERSION)

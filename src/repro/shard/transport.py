@@ -104,6 +104,10 @@ class CoordinatorTransport(Transport):
         self.on_bound = on_bound
         #: The coordinator of the in-flight run (exposed for tests/status).
         self.coordinator: Optional[ShardCoordinator] = None
+        #: Lease metrics / per-worker stats of the last finished run, kept
+        #: after the server socket closes so the CLI can print a recap.
+        self.final_counts: Optional[dict] = None
+        self.final_workers: Optional[list] = None
 
     def execute(self, runner, order, preparations):
         if not order:
@@ -145,5 +149,7 @@ class CoordinatorTransport(Transport):
         try:
             coordinator.serve_until_done(stop=self.stop, linger_s=self.linger_s)
         finally:
+            self.final_counts = board.metrics_counts()
+            self.final_workers = board.worker_stats()
             self.coordinator = None
         return dict(board.outcomes), dict(board.failures)

@@ -44,6 +44,7 @@ from repro.shard.protocol import (
     prepared_from_wire,
     task_from_wire,
 )
+import repro.telemetry as telemetry
 from repro.sweep.runner import PreparedDevice, SweepOutcome, run_sweep_task
 from repro.utils.logging import get_logger
 
@@ -69,6 +70,19 @@ def execute_cell(task_fn, task, cache_dir, prepared) -> tuple[str, object, float
             time.perf_counter() - start,
         )
     return ("ok", value, time.perf_counter() - start)
+
+
+def _execute_cell_pooled(task_fn, task, cache_dir, prepared):
+    """Pool-process variant of :func:`execute_cell`: ships metrics home.
+
+    Resets the (fork-inherited) telemetry state first so the returned
+    snapshot holds exactly this cell's measurements, then appends it to the
+    ``execute_cell`` triple.  The serial path needs none of this: it already
+    accumulates into the worker's own registry.
+    """
+    telemetry.reset()
+    status, value, duration = execute_cell(task_fn, task, cache_dir, prepared)
+    return status, value, duration, telemetry.snapshot()
 
 
 class ShardWorker:
@@ -277,7 +291,7 @@ class ShardWorker:
                                 self._active_leases.add(lease_id)
                             task = task_from_wire(cell["task"])
                             prepared = self._prepared.get(cell.get("prep") or "")
-                            future = pool.submit(execute_cell, self.task_fn,
+                            future = pool.submit(_execute_cell_pooled, self.task_fn,
                                                  task, self.cache_dir, prepared)
                             in_flight[future] = (lease_id, uid)
                         if not cells and not in_flight:
@@ -294,10 +308,11 @@ class ShardWorker:
                         for future in done:
                             lease_id, uid = in_flight.pop(future)
                             try:
-                                status, value, duration = future.result()
+                                status, value, duration, cell_metrics = future.result()
                             except Exception as exc:  # noqa: BLE001 - pool-level crash
-                                status, value, duration = (
-                                    "error", f"{type(exc).__name__}: {exc}", 0.0)
+                                status, value, duration, cell_metrics = (
+                                    "error", f"{type(exc).__name__}: {exc}", 0.0, None)
+                            telemetry.merge(cell_metrics)
                             self.executed += 1
                             if self._checked(
                                 lambda lid=lease_id, u=uid, s=status, v=value,

@@ -44,7 +44,7 @@ import pathlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence, Union
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.sweep.runner import SweepFailure, SweepOutcome
 from repro.utils.logging import get_logger
@@ -231,6 +231,11 @@ class CheckpointWriter:
     recorded-uid bookkeeping, because the shard coordinator settles cells
     from concurrent HTTP handler threads (several workers reporting at
     once) while the local schedules settle from a single thread.
+
+    All timestamps come from the injected ``clock`` (default
+    :func:`time.time`): tests freeze it to make checkpoint bytes
+    reproducible, and telemetry span records share the same clock so their
+    ``ts`` values correlate with checkpoint ``ts`` values.
     """
 
     def __init__(
@@ -239,16 +244,18 @@ class CheckpointWriter:
         grid: Sequence[str],
         fresh: bool = True,
         recorded: Optional[set[str]] = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._recorded: set[str] = set()
+        self._clock = clock
         header = {
             "kind": "header",
             "version": CHECKPOINT_VERSION,
             "grid": [str(uid) for uid in grid],
-            "ts": round(time.time(), 3),
+            "ts": round(self._clock(), 3),
         }
         if fresh or not self.path.exists():
             self.path.write_text(json.dumps(header, sort_keys=True) + "\n",
@@ -273,7 +280,7 @@ class CheckpointWriter:
             "kind": "outcome",
             "uid": outcome.task.uid,
             "outcome": to_jsonable(outcome),
-            "ts": round(time.time(), 3),
+            "ts": round(self._clock(), 3),
         }
         with self._lock:
             self._append(record)
@@ -284,7 +291,7 @@ class CheckpointWriter:
             "kind": "failure",
             "uid": failure.task.uid,
             "failure": failure.as_dict(),
-            "ts": round(time.time(), 3),
+            "ts": round(self._clock(), 3),
         }
         with self._lock:
             self._append(record)

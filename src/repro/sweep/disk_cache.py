@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+import repro.telemetry as telemetry
 from repro.hw.analytical import PerformanceEstimate
 from repro.hw.resource import ResourceVector
 from repro.search.cache import CacheStats, config_cache_key
@@ -204,10 +205,13 @@ class DiskEvaluationCache:
     def evaluate_with_info(self, config: "DNNConfig") -> tuple[PerformanceEstimate, bool]:
         """Evaluate one config; returns ``(estimate, served_from_disk)``."""
         key = self.key_fn(config)
+        reg = telemetry.registry()
         with self._lock:
             cached = self._store.get(key)
             if cached is not None:
                 self._hits += 1
+                if reg is not None:
+                    reg.counter("sweep.disk_cache.hits").inc()
                 return cached, True
         value = self.estimator(config)
         with self._lock:
@@ -215,6 +219,8 @@ class DiskEvaluationCache:
             if key not in self._store:
                 self._store[key] = value
                 self._append(key, value)
+        if reg is not None:
+            reg.counter("sweep.disk_cache.misses").inc()
         return value, False
 
     # ------------------------------------------------------------ bookkeeping
@@ -511,6 +517,16 @@ def compact_cache_dir(
     _, ck_pruned, ck_corrupt = compact_checkpoint(
         directory / CHECKPOINT_FILENAME, max_age_days=max_age_days, now=now,
     )
+
+    reg = telemetry.registry()
+    if reg is not None:
+        if evicted_age or evicted_size:
+            reg.counter("sweep.disk_cache.evicted").inc(evicted_age + evicted_size)
+        telemetry.event(
+            "sweep.disk_cache.compacted",
+            kept=len(records), duplicates=duplicates, corrupt=corrupt,
+            evicted_by_age=evicted_age, evicted_by_size=evicted_size,
+        )
 
     report = CompactionReport(
         shards_before=len(shard_paths),

@@ -74,6 +74,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence, Union
 
+import repro.telemetry as telemetry
 from repro.hw.device import resolve_devices
 from repro.search import available_strategies
 from repro.utils.logging import get_logger
@@ -412,9 +413,11 @@ def prepare_device(task: SweepTask) -> PreparedDevice:
     from repro.sweep.disk_cache import coefficients_fingerprint
 
     start = time.perf_counter()
-    flow, _, _ = _task_flow(task)
-    flow.step1_modeling()
-    _, _, selected = flow.step2_bundle_selection()
+    with telemetry.trace("sweep.prep.device", device=task.device,
+                         clock_mhz=task.clock_mhz, top_bundles=task.top_bundles):
+        flow, _, _ = _task_flow(task)
+        flow.step1_modeling()
+        _, _, selected = flow.step2_bundle_selection()
     coefficients = flow.auto_hls.coefficients
     return PreparedDevice(
         device=task.device,
@@ -426,6 +429,19 @@ def prepare_device(task: SweepTask) -> PreparedDevice:
         fingerprint=coefficients_fingerprint(coefficients),
         prep_duration_s=time.perf_counter() - start,
     )
+
+
+def _prepare_device_pooled(task: SweepTask) -> tuple:
+    """Pool-side preparation wrapper shipping the child's telemetry home.
+
+    Returns ``(artifact, metrics)`` where ``metrics`` is the child's
+    telemetry snapshot (``None`` when telemetry is disabled); the parent
+    merges it so pooled preparations are accounted like serial ones.
+    Module-level so it pickles under any start method.
+    """
+    telemetry.reset()
+    artifact = prepare_device(task)
+    return artifact, telemetry.snapshot()
 
 
 @dataclass
@@ -535,6 +551,16 @@ def run_sweep_task(
     preparation is deterministic and the search-side evaluation cache is
     reset when the search starts.
     """
+    with telemetry.trace("sweep.cell", uid=task.uid, device=task.device,
+                         strategy=task.strategy):
+        return _run_sweep_task(task, cache_dir, prepared)
+
+
+def _run_sweep_task(
+    task: SweepTask,
+    cache_dir: Optional[str],
+    prepared: Optional[PreparedDevice],
+) -> SweepOutcome:
     # Imported here so a forked/spawned worker resolves everything locally.
     from repro.core.auto_dnn import AutoDNN
     from repro.core.bundle_generation import get_bundle
@@ -739,29 +765,40 @@ def _timed_call(task_fn, task, cache_dir, prepared) -> tuple:
     The chunked schedule cannot observe per-cell timing from the parent (a
     pool future's latency includes queue wait), and a raised exception
     carries no duration — so the worker measures it and ships
-    ``("ok", value, seconds)`` or ``("error", message, seconds)`` back.
+    ``("ok", value, seconds, metrics)`` or ``("error", message, seconds,
+    metrics)`` back, where ``metrics`` is the worker's telemetry snapshot
+    (``None`` when telemetry is disabled) for the parent to merge.
     Module-level so it pickles under any start method.
     """
+    telemetry.reset()  # drop fork-inherited state; parent merges the snapshot
     start = time.perf_counter()
     try:
         value = task_fn(task, cache_dir, prepared)
     except Exception as exc:  # noqa: BLE001 - converted to a record
-        return ("error", f"{type(exc).__name__}: {exc}", time.perf_counter() - start)
-    return ("ok", value, time.perf_counter() - start)
+        return ("error", f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start, telemetry.snapshot())
+    return ("ok", value, time.perf_counter() - start, telemetry.snapshot())
 
 
 def _dispatch_worker(conn, task_fn, task, cache_dir, prepared) -> None:
-    """Child-process entry of the stealing scheduler: run, then report."""
+    """Child-process entry of the stealing scheduler: run, then report.
+
+    The payload's third element is the worker's telemetry snapshot
+    (``None`` when telemetry is disabled), merged into the parent registry;
+    shipping it out-of-band keeps :class:`SweepOutcome` — and therefore the
+    checkpoint bytes — independent of whether telemetry is on.
+    """
+    telemetry.reset()  # drop fork-inherited state; parent merges the snapshot
     try:
         result = task_fn(task, cache_dir, prepared)
-        payload = ("ok", result)
+        payload = ("ok", result, telemetry.snapshot())
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
-        payload = ("error", f"{type(exc).__name__}: {exc}")
+        payload = ("error", f"{type(exc).__name__}: {exc}", telemetry.snapshot())
     try:
         conn.send(payload)
     except Exception as exc:  # unpicklable result: report instead of dying
         try:
-            conn.send(("error", f"unpicklable task result: {exc!r}"))
+            conn.send(("error", f"unpicklable task result: {exc!r}", None))
         except Exception:  # pragma: no cover - pipe already gone
             pass
     finally:
@@ -854,6 +891,7 @@ class SweepRunner:
         resume_from: Union[str, pathlib.Path, SweepResult, None] = None,
         task_fn: Callable[..., SweepOutcome] = run_sweep_task,
         transport=None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if not tasks:
             raise ValueError("At least one sweep task is required")
@@ -899,6 +937,13 @@ class SweepRunner:
                 "transport must provide an execute(runner, order, preparations) method"
             )
         self.transport = transport
+        if not callable(clock):
+            raise TypeError("clock must be a callable returning seconds since the epoch")
+        #: Wall-clock source for every persisted timestamp (checkpoint
+        #: records, timing hints, telemetry sidecar).  Injected so tests can
+        #: freeze time and so telemetry ``ts`` values correlate with
+        #: checkpoint ``ts`` values.
+        self.clock = clock
         # Per-run state (filled by run()): effective per-index timeouts, the
         # incremental checkpoint writer and the parsed resume source.
         self._timeouts: dict[int, Optional[float]] = {}
@@ -949,7 +994,7 @@ class SweepRunner:
             return
         from repro.sweep.checkpoint import save_timings
 
-        save_timings(path, durations)
+        save_timings(path, durations, now=self.clock())
 
     # ------------------------------------------------------- adaptive knobs
     def _effective_timeout(self, task: SweepTask, hints: Mapping[str, float]) -> Optional[float]:
@@ -1048,6 +1093,7 @@ class SweepRunner:
             grid=[task.uid for task in self.tasks],
             fresh=self.resume_from is None,
             recorded=recorded,
+            clock=self.clock,
         )
         # A resume seeded from a result JSON (or an in-memory result) may
         # target a cache dir whose checkpoint lacks the reused cells; back
@@ -1061,11 +1107,22 @@ class SweepRunner:
         """Checkpoint one settled outcome (transports call this as cells land)."""
         if self._writer is not None:
             self._writer.record_outcome(outcome)
+        reg = telemetry.registry()
+        if reg is not None:
+            reg.histogram("sweep.cell.duration_s").observe(outcome.duration_s)
+            telemetry.event(
+                "sweep.cell.completed", uid=outcome.task.uid,
+                attempts=outcome.attempts, duration_s=round(outcome.duration_s, 6),
+            )
 
     def settle_failure(self, failure: SweepFailure) -> None:
         """Checkpoint one settled failure (transports call this as cells land)."""
         if self._writer is not None:
             self._writer.record_failure(failure)
+        telemetry.event(
+            "sweep.cell.failed", uid=failure.task.uid,
+            kind=failure.kind, attempts=failure.attempts,
+        )
 
     # Internal spellings kept for the built-in schedules.
     _settled_outcome = settle_outcome
@@ -1092,12 +1149,60 @@ class SweepRunner:
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(representatives))
             ) as pool:
-                artifacts = list(pool.map(prepare_device, representatives))
+                shipped = list(pool.map(_prepare_device_pooled, representatives))
+            artifacts = []
+            for artifact, worker_metrics in shipped:
+                telemetry.merge(worker_metrics)
+                artifacts.append(artifact)
             return dict(zip(unique.keys(), artifacts))
         return {key: prepare_device(task) for key, task in unique.items()}
 
+    # -------------------------------------------------------------- telemetry
+    def _open_telemetry_sink(self):
+        """Attach the ``_telemetry.jsonl`` sidecar when telemetry is on.
+
+        Parent-process only: worker processes ship snapshots back over
+        their result channels instead of writing to the file, so the
+        sidecar sees one writer and each line is an atomic fsynced append.
+        """
+        if self.cache_dir is None or not telemetry.enabled():
+            return None
+        from repro.telemetry import TELEMETRY_FILENAME, TelemetrySink
+
+        path = pathlib.Path(self.cache_dir) / TELEMETRY_FILENAME
+        sink = TelemetrySink(str(path), fresh=self.resume_from is None,
+                             clock=self.clock)
+        telemetry.set_sink(sink)
+        return sink
+
+    def _record_run_telemetry(self, result: SweepResult) -> None:
+        """Run-level gauges plus a final full snapshot into the sidecar."""
+        reg = telemetry.registry()
+        if reg is None:
+            return
+        reg.gauge("sweep.cells.total").set(len(self.tasks))
+        reg.gauge("sweep.cells.completed").set(len(result.outcomes))
+        reg.gauge("sweep.cells.failed").set(len(result.failures))
+        reg.gauge("sweep.cells.reused").set(result.reused)
+        reg.gauge("sweep.workers").set(self.workers)
+        reg.gauge("sweep.wall_time_s").set(result.wall_time_s)
+        reg.gauge("sweep.prep_time_s").set(result.prep_time_s)
+        sink = telemetry.sink()
+        if sink is not None:
+            sink.write_snapshot(reg.snapshot())
+
     # ------------------------------------------------------------- execution
     def run(self) -> SweepResult:
+        sink = self._open_telemetry_sink()
+        try:
+            result = self._run()
+            self._record_run_telemetry(result)
+            return result
+        finally:
+            if sink is not None:
+                telemetry.set_sink(None)
+
+    def _run(self) -> SweepResult:
         start = time.perf_counter()
 
         reused = self._load_resume()
@@ -1105,7 +1210,9 @@ class SweepRunner:
 
         preparations: dict[tuple, PreparedDevice] = {}
         if self.share_preparation and to_run:
-            preparations = self._prepare_devices([self.tasks[i] for i in to_run])
+            with telemetry.trace("sweep.prep", cells=len(to_run)) as prep_span:
+                preparations = self._prepare_devices([self.tasks[i] for i in to_run])
+                prep_span.annotate(preparations=len(preparations))
         prep_time = time.perf_counter() - start
 
         hints = self._load_cost_hints()
@@ -1206,6 +1313,8 @@ class SweepRunner:
                     )
                     self._settled_failure(failures[index])
                 else:
+                    telemetry.event("sweep.cell.retry", uid=task.uid,
+                                    attempt=attempt, kind=verdict[0])
                     logger.warning("task %s attempt %d failed (%s); retrying",
                                    task.name, attempt, verdict[1])
         return outcomes, failures
@@ -1245,8 +1354,9 @@ class SweepRunner:
                     index = futures[future]
                     task = self.tasks[index]
                     attempts[index] += 1
+                    worker_metrics = None
                     try:
-                        status, value, duration = future.result()
+                        status, value, duration, worker_metrics = future.result()
                     except BrokenProcessPool:
                         # One dying worker poisons every in-flight future of
                         # the pool; the blame cannot be attributed here, so
@@ -1258,6 +1368,7 @@ class SweepRunner:
                     except Exception as exc:  # unpicklable result, pool error
                         status, value, duration = \
                             "error", f"{type(exc).__name__}: {exc}", 0.0
+                    telemetry.merge(worker_metrics)
                     spent[index] += duration
                     if status == "ok":
                         outcome, verdict = self._classify(value)
@@ -1268,6 +1379,8 @@ class SweepRunner:
                         outcomes[index] = outcome
                         self._settled_outcome(outcome)
                     elif attempts[index] <= self.retries:
+                        telemetry.event("sweep.cell.retry", uid=task.uid,
+                                        attempt=attempts[index], kind=verdict[0])
                         logger.warning("task %s attempt %d failed (%s); retrying",
                                        task.name, attempts[index], verdict[1])
                         next_round.append(index)
@@ -1325,6 +1438,8 @@ class SweepRunner:
             """Retry the cell (after backoff) or record the failure."""
             task = self.tasks[index]
             if attempts[index] <= self.retries:
+                telemetry.event("sweep.cell.retry", uid=task.uid,
+                                attempt=attempts[index], kind=verdict[0])
                 logger.warning("task %s attempt %d failed (%s); retrying",
                                task.name, attempts[index], verdict[1])
                 delay = self._backoff_delay(attempts[index])
@@ -1369,6 +1484,8 @@ class SweepRunner:
                     process.start()
                     child_conn.close()
                     running[index] = _Attempt(process, parent_conn, attempts[index])
+                    telemetry.event("sweep.cell.dispatch", uid=task.uid,
+                                    attempt=attempts[index])
 
                 backing_off = [i for i in pending if ready_at.get(i, 0.0) > now]
                 if not running:
@@ -1399,7 +1516,9 @@ class SweepRunner:
                     # recorded as a timeout.
                     if state.conn in ready_set or state.conn.poll():
                         try:
-                            status, value = state.conn.recv()
+                            message = state.conn.recv()
+                            status, value = message[0], message[1]
+                            telemetry.merge(message[2] if len(message) > 2 else None)
                         except (EOFError, OSError):
                             # The worker died without reporting (crash/kill).
                             reap(index).process.join(timeout=5.0)
@@ -1423,6 +1542,8 @@ class SweepRunner:
                             state.process.kill()
                             state.process.join(timeout=5.0)
                         reap(index)
+                        telemetry.event("sweep.cell.timeout", uid=self.tasks[index].uid,
+                                        attempt=attempts[index], limit_s=limit)
                         settle(index, (
                             "timeout",
                             f"exceeded the {limit:g}s per-task timeout",

@@ -1,0 +1,106 @@
+"""Metrics, tracing and run-report layer (observability subsystem).
+
+Stdlib-only instrumentation shared by every layer of the reproduction:
+
+* :mod:`repro.telemetry.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-bucket histograms; thread-safe, with picklable
+  mergeable snapshots so worker processes ship measurements back to the
+  sweep parent over the existing result channels,
+* :mod:`repro.telemetry.trace` — the global on/off switch
+  (:func:`enable` / :func:`disable`, propagated to worker processes via
+  ``REPRO_TELEMETRY``) and the span tracer
+  (``with trace("sweep.cell", uid=...)``) plus point :func:`event`
+  records,
+* :mod:`repro.telemetry.sink` — the fsynced ``_telemetry.jsonl`` sidecar
+  written next to ``_checkpoint.jsonl`` (same torn-tail-tolerant reader
+  contract),
+* :mod:`repro.telemetry.report` — ``repro-codesign telemetry report``
+  aggregation and the ``BENCH_*.json`` perf-trajectory emitter.
+
+Everything is **zero-cost when disabled** — instrumented call sites do a
+single ``registry() is None`` check — and **non-perturbing**: journals and
+checkpoints are byte-identical with telemetry on or off (tested).
+
+Quickstart::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    result = SweepRunner(tasks, cache_dir="cache").run()
+    print(telemetry.registry().snapshot().as_dict())
+    print(telemetry.build_report("cache").render())
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.sink import (
+    TELEMETRY_FILENAME,
+    TELEMETRY_VERSION,
+    TelemetryLog,
+    TelemetrySink,
+    read_telemetry,
+)
+from repro.telemetry.trace import (
+    ENV_FLAG,
+    Span,
+    disable,
+    enable,
+    enabled,
+    event,
+    merge,
+    registry,
+    reset,
+    set_sink,
+    sink,
+    snapshot,
+    trace,
+)
+from repro.telemetry.report import (
+    REPORT_DURATION_BUCKETS_S,
+    CellTiming,
+    TelemetryReport,
+    build_report,
+    duration_histogram,
+    write_bench_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_VERSION",
+    "TelemetrySink",
+    "TelemetryLog",
+    "read_telemetry",
+    "ENV_FLAG",
+    "Span",
+    "enable",
+    "disable",
+    "enabled",
+    "registry",
+    "reset",
+    "snapshot",
+    "merge",
+    "set_sink",
+    "sink",
+    "trace",
+    "event",
+    "REPORT_DURATION_BUCKETS_S",
+    "CellTiming",
+    "TelemetryReport",
+    "build_report",
+    "duration_histogram",
+    "write_bench_json",
+]

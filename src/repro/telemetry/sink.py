@@ -1,0 +1,148 @@
+"""Telemetry sidecar file: fsynced ``_telemetry.jsonl`` next to the checkpoint.
+
+The sidecar follows the same durability contract as ``_checkpoint.jsonl``:
+each record is one JSON object on one line, appended with a single
+``write()`` call and fsynced, so a crash can at worst leave a torn final
+line which the reader tolerates.  The leading underscore keeps the file
+invisible to the disk-cache shard scanner and its garbage collector.
+
+Record kinds:
+
+* ``header``   — written when the sink is opened; carries the version.
+* ``span``     — a completed ``trace()`` block (name, duration, attributes).
+* ``event``    — a point-in-time occurrence (retry, lease grant, ...).
+* ``snapshot`` — a full :class:`~repro.telemetry.metrics.MetricsSnapshot`,
+  usually written once when a run finishes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.telemetry.metrics import MetricsSnapshot
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["TELEMETRY_FILENAME", "TELEMETRY_VERSION", "TelemetrySink", "TelemetryLog", "read_telemetry"]
+
+#: Sidecar file name; the underscore prefix keeps it out of cache-shard scans.
+TELEMETRY_FILENAME = "_telemetry.jsonl"
+TELEMETRY_VERSION = 1
+
+
+class TelemetrySink:
+    """Append-only, fsynced JSONL writer for telemetry records."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fresh: bool = True,
+        clock: Callable[[], float] = time.time,
+        fsync: bool = True,
+    ) -> None:
+        self.path = path
+        self._clock = clock
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._failed = False
+        mode = "w" if fresh else "a"
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, mode, encoding="utf-8"):
+            pass
+        self._append({"kind": "header", "version": TELEMETRY_VERSION})
+
+    def _append(self, record: dict) -> None:
+        record = dict(record)
+        record["ts"] = round(self._clock(), 3)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._failed:
+                return
+            try:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line)
+                    handle.flush()
+                    if self._fsync:
+                        os.fsync(handle.fileno())
+            except OSError as exc:
+                # Telemetry must never take the run down with it.
+                self._failed = True
+                logger.warning("telemetry sink disabled after write failure on %s: %s", self.path, exc)
+
+    def write_span(self, name: str, duration_s: float, attrs: Optional[Mapping] = None) -> None:
+        record = {"kind": "span", "name": name, "duration_s": round(float(duration_s), 6)}
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._append(record)
+
+    def write_event(self, name: str, attrs: Optional[Mapping] = None) -> None:
+        record = {"kind": "event", "name": name}
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._append(record)
+
+    def write_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        self._append({"kind": "snapshot", "metrics": snapshot.as_dict()})
+
+
+@dataclass
+class TelemetryLog:
+    """Parsed contents of a ``_telemetry.jsonl`` sidecar."""
+
+    path: str
+    version: Optional[int] = None
+    spans: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    snapshots: list = field(default_factory=list)
+    records: int = 0
+    corrupt_lines: int = 0
+
+    @property
+    def last_snapshot(self) -> Optional[MetricsSnapshot]:
+        if not self.snapshots:
+            return None
+        return MetricsSnapshot.from_dict(self.snapshots[-1]["metrics"])
+
+
+def read_telemetry(path: str) -> TelemetryLog:
+    """Load a telemetry sidecar, tolerating a torn (partial) final line.
+
+    A torn or otherwise corrupt line is counted in ``corrupt_lines`` and
+    skipped; everything parseable is kept.  Missing file yields an empty log.
+    """
+    log = TelemetryLog(path=path)
+    if not os.path.exists(path):
+        return log
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                log.corrupt_lines += 1
+                continue
+            if not isinstance(record, dict):
+                log.corrupt_lines += 1
+                continue
+            log.records += 1
+            kind = record.get("kind")
+            if kind == "header":
+                log.version = record.get("version")
+            elif kind == "span":
+                log.spans.append(record)
+            elif kind == "event":
+                log.events.append(record)
+            elif kind == "snapshot":
+                log.snapshots.append(record)
+    return log

@@ -1,0 +1,183 @@
+"""Global telemetry runtime state and the span-based tracer.
+
+The whole subsystem hangs off one module-level optional registry:
+
+* ``registry()`` returns ``None`` while telemetry is disabled — every
+  instrumented call site checks this first, making the disabled path a
+  single attribute load and ``is None`` test (zero-cost-when-disabled).
+* ``enable()`` installs a fresh :class:`MetricsRegistry` and exports
+  ``REPRO_TELEMETRY=1`` so worker processes spawned afterwards enable
+  themselves at import time.
+* ``reset()`` is called at worker entry points: it installs a fresh
+  registry (dropping any state inherited through ``fork``, which would
+  otherwise be double-counted when the worker's snapshot is merged back
+  into the parent) and detaches any inherited sink (the sidecar file is
+  owned by the parent process only).
+
+Spans::
+
+    with trace("sweep.cell", uid=task.uid) as span:
+        ...
+        span.annotate(outcome="ok")
+
+Each completed span increments ``<name>.count``, observes
+``<name>.seconds`` in a histogram, and — when a sink is attached — appends
+a ``span`` record to ``_telemetry.jsonl``.  When telemetry is disabled the
+context manager yields a shared no-op span without touching the clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.sink import TelemetrySink
+
+__all__ = [
+    "ENV_FLAG",
+    "enable",
+    "disable",
+    "enabled",
+    "registry",
+    "reset",
+    "snapshot",
+    "merge",
+    "set_sink",
+    "sink",
+    "trace",
+    "event",
+    "Span",
+]
+
+#: Environment flag checked at import time so spawned worker processes
+#: inherit the parent's telemetry on/off decision.
+ENV_FLAG = "REPRO_TELEMETRY"
+
+_registry: Optional[MetricsRegistry] = None
+_sink: Optional[TelemetrySink] = None
+
+
+def enable(fresh: bool = False) -> MetricsRegistry:
+    """Turn telemetry on (idempotent); return the active registry.
+
+    ``fresh=True`` discards any existing registry contents.
+    """
+    global _registry
+    if _registry is None or fresh:
+        _registry = MetricsRegistry()
+    os.environ[ENV_FLAG] = "1"
+    return _registry
+
+
+def disable() -> None:
+    """Turn telemetry off and drop all recorded state."""
+    global _registry, _sink
+    _registry = None
+    _sink = None
+    os.environ.pop(ENV_FLAG, None)
+
+
+def enabled() -> bool:
+    return _registry is not None
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when telemetry is disabled."""
+    return _registry
+
+
+def reset() -> None:
+    """Worker-process entry hook: fresh registry, no inherited sink.
+
+    No-op while telemetry is disabled.
+    """
+    global _registry, _sink
+    _sink = None
+    if _registry is not None:
+        _registry = MetricsRegistry()
+
+
+def snapshot() -> Optional[MetricsSnapshot]:
+    """Snapshot the active registry, or ``None`` when disabled."""
+    if _registry is None:
+        return None
+    return _registry.snapshot()
+
+
+def merge(snap: Optional[MetricsSnapshot]) -> None:
+    """Fold a worker snapshot into the active registry (no-op if disabled)."""
+    if snap is not None and _registry is not None:
+        _registry.merge(snap)
+
+
+def set_sink(new_sink: Optional[TelemetrySink]) -> None:
+    global _sink
+    _sink = new_sink
+
+
+def sink() -> Optional[TelemetrySink]:
+    return _sink
+
+
+class Span:
+    """A live span; ``annotate()`` attaches attributes before it closes."""
+
+    __slots__ = ("name", "attrs", "_active")
+
+    def __init__(self, name: str, attrs: dict, active: bool = True) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._active = active
+
+    def annotate(self, **attrs) -> None:
+        if self._active:
+            self.attrs.update(attrs)
+
+
+#: Shared inert span yielded while telemetry is disabled.
+_NULL_SPAN = Span("", {}, active=False)
+
+
+@contextmanager
+def trace(name: str, **attrs) -> Iterator[Span]:
+    """Time a block; record count, latency histogram, and a sink span record."""
+    reg = _registry
+    if reg is None:
+        yield _NULL_SPAN
+        return
+    span = Span(name, dict(attrs))
+    start = time.perf_counter()
+    try:
+        yield span
+    finally:
+        duration = time.perf_counter() - start
+        reg.counter(f"{name}.count").inc()
+        reg.histogram(f"{name}.seconds").observe(duration)
+        out = _sink
+        if out is not None:
+            out.write_span(name, duration, span.attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record a point-in-time occurrence (no-op while disabled).
+
+    Increments ``<name>.count`` and, when a sink is attached, appends an
+    ``event`` record with the given attributes.
+    """
+    reg = _registry
+    if reg is None:
+        return
+    reg.counter(f"{name}.count").inc()
+    out = _sink
+    if out is not None:
+        out.write_event(name, attrs if attrs else None)
+
+
+if os.environ.get(ENV_FLAG, "").strip() not in ("", "0"):
+    # Spawned worker processes inherit the parent's environment; enabling at
+    # import time means their measurements exist before any instrumentation
+    # runs, ready to be snapshot and merged back into the parent.
+    enable()

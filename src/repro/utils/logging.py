@@ -31,14 +31,24 @@ def get_logger(name: str, level: int | None = None) -> logging.Logger:
     return logger
 
 
-def configure_logging(level: int = logging.INFO) -> None:
+def configure_logging(level: int | str = logging.INFO) -> None:
     """Configure a basic console handler for the ``repro`` logger tree.
 
-    Safe to call multiple times; subsequent calls only adjust the level.
+    Safe to call multiple times; subsequent calls only adjust the level —
+    of the logger *and* of the handlers installed earlier, so lowering to
+    ``DEBUG`` after an initial ``INFO`` call actually emits debug records.
+    Accepts a numeric level or a name like ``"debug"``.
     """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.strip().upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
     root = logging.getLogger("repro")
     root.setLevel(level)
     if not root.handlers:
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter(_FORMAT))
         root.addHandler(handler)
+    for handler in root.handlers:
+        handler.setLevel(level)

@@ -19,7 +19,7 @@ BUDGET = ["--fps", "40", "--tolerance-ms", "10", "--top-bundles", "2",
           "--candidates", "1", "--iterations", "20", "--seed", "1"]
 
 ALL_COMMANDS = ["codesign", "search", "sweep", "cache", "experiment",
-                "codegen", "bundles"]
+                "codegen", "bundles", "telemetry"]
 
 
 def _exit_code(argv):
@@ -56,10 +56,21 @@ class TestArgumentParsing:
         ["experiment", "fig99"],                       # bad choice
         ["codegen", "--design", "DNN9"],               # bad choice
         ["codesign", "--iterations"],                  # missing value
+        ["telemetry"],                                 # missing action
+        ["telemetry", "report"],                       # missing --cache-dir
+        ["telemetry", "report", "--cache-dir", "x", "--top", "0"],  # bad value
+        ["shard", "status"],                           # missing --connect
+        ["sweep", "--log-level", "loud"],              # bad choice
     ])
     def test_parse_errors_exit_2(self, argv, capsys):
         assert _exit_code(argv) == 2
         assert "usage" in capsys.readouterr().err
+
+    def test_common_flags_accepted_before_and_after_subcommand(self, capsys):
+        for argv in (["-v", "bundles"], ["bundles", "-v"],
+                     ["bundles", "--log-level", "debug"]):
+            assert main(argv) == 0
+            capsys.readouterr()
 
 
 # ------------------------------------------------------------------ full runs
@@ -187,3 +198,45 @@ class TestCommandRuns:
         assert main(["bundles"]) == 0
         out = capsys.readouterr().out
         assert len(out.strip().splitlines()) >= 18
+
+    def test_sweep_with_telemetry_then_report(self, tmp_path, capsys):
+        import repro.telemetry as telemetry
+
+        cache_dir = tmp_path / "cache"
+        try:
+            code = main(["--telemetry", "sweep", "--devices", "pynq-z1",
+                         "--strategies", "scd", "--cache-dir", str(cache_dir)]
+                        + BUDGET)
+        finally:
+            telemetry.disable()
+        assert code == 0
+        capsys.readouterr()
+        assert (cache_dir / "_telemetry.jsonl").exists()
+
+        assert main(["telemetry", "report", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry report for" in out
+        assert "Cache hit rate" in out
+        assert "slowest cells" in out
+        assert "Spans (_telemetry.jsonl)" in out
+
+        assert main(["telemetry", "report", "--cache-dir", str(cache_dir),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cells"]["completed"] == 1
+        assert payload["telemetry"]["snapshot"] is not None
+
+    def test_telemetry_report_without_telemetry_uses_checkpoint(
+            self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", "--devices", "pynq-z1", "--strategies", "scd",
+                     "--cache-dir", str(cache_dir)] + BUDGET) == 0
+        capsys.readouterr()
+        assert not (cache_dir / "_telemetry.jsonl").exists()
+        assert main(["telemetry", "report", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Cells: 1 completed, 0 failed" in out
+
+    def test_shard_status_unreachable_coordinator(self, capsys):
+        assert main(["shard", "status", "--connect", "127.0.0.1:1"]) == 1
+        assert "cannot reach coordinator" in capsys.readouterr().err

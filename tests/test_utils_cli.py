@@ -24,6 +24,19 @@ class TestLoggingUtils:
         configure_logging(logging.INFO)
         assert len(logging.getLogger("repro").handlers) == handlers_before
 
+    def test_configure_logging_updates_handler_level(self):
+        configure_logging(logging.INFO)
+        configure_logging(logging.DEBUG)
+        root = logging.getLogger("repro")
+        assert root.level == logging.DEBUG
+        assert all(h.level == logging.DEBUG for h in root.handlers)
+
+    def test_configure_logging_accepts_level_names(self):
+        configure_logging("warning")
+        assert logging.getLogger("repro").level == logging.WARNING
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
 
 class TestRngUtils:
     def test_ensure_rng_from_seed_deterministic(self):
