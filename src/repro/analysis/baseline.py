@@ -1,0 +1,86 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline lets the lint gate turn on *hard* the day a new rule lands:
+pre-existing violations are recorded once (fingerprinted by rule, file
+and offending source line — not line number, so unrelated edits don't
+disturb them) and stop failing the run, while any **new** violation of
+the same rule fails immediately.  Entries disappear naturally: fixing or
+even touching a grandfathered line changes its fingerprint, and
+``lint --update-baseline`` rewrites the file to exactly the current
+finding set (pruning entries that no longer match anything).
+
+The file is JSON, sorted and newline-terminated, so diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Optional, Union
+
+from repro.analysis.core import Finding
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+_PathLike = Union[str, pathlib.Path]
+
+#: Default committed baseline filename, discovered upward from the lint root.
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: _PathLike) -> frozenset[str]:
+    """The grandfathered fingerprint set; missing file = empty baseline."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return frozenset()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        # A garbage baseline must fail findings, not excuse them.
+        logger.warning("ignoring unreadable lint baseline %s: %s", path, exc)
+        return frozenset()
+    if not isinstance(payload, dict):
+        logger.warning("ignoring malformed lint baseline %s", path)
+        return frozenset()
+    fingerprints = set()
+    for entry in payload.get("findings", []):
+        if isinstance(entry, dict) and isinstance(entry.get("fingerprint"), str):
+            fingerprints.add(entry["fingerprint"])
+    return frozenset(fingerprints)
+
+
+def save_baseline(path: _PathLike, findings: Iterable[Finding]) -> pathlib.Path:
+    """Write ``findings`` as the new baseline (sorted, stable, diffable)."""
+    path = pathlib.Path(path)
+    entries = sorted(
+        (
+            {
+                "fingerprint": finding.fingerprint(),
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "message": finding.message,
+            }
+            for finding in findings
+        ),
+        key=lambda entry: (entry["path"], entry["rule"], entry["fingerprint"]),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def discover_baseline(start: _PathLike) -> Optional[pathlib.Path]:
+    """Find the nearest committed baseline walking up from ``start``."""
+    current = pathlib.Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in [current, *current.parents]:
+        candidate = directory / BASELINE_FILENAME
+        if candidate.exists():
+            return candidate
+    return None

@@ -1,0 +1,16 @@
+"""Built-in invariant checkers.
+
+Importing this package registers every built-in checker with the
+:mod:`repro.analysis.core` registry; :func:`repro.analysis.all_checkers`
+triggers the import lazily.  Each module holds exactly one rule so new
+contracts land as new files, not edits to a monolith.
+"""
+
+from repro.analysis.checkers import (  # noqa: F401 - registration side effects
+    jsonl_contract,
+    lock_discipline,
+    pickle_boundary,
+    telemetry_cost,
+    unseeded_random,
+    wall_clock,
+)

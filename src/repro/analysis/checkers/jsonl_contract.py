@@ -1,0 +1,187 @@
+"""``jsonl-contract``: sidecar writers fsync per line, readers tolerate torn tails.
+
+PR 4 and PR 6 established one durability contract for the underscore
+sidecars (``_checkpoint.jsonl``, ``_telemetry.jsonl``): every record is
+appended as a single ``write()`` of one full line, flushed and fsynced
+before the handle closes — a parent killed mid-sweep loses at most the
+line being written — and every reader treats a line that fails to parse
+as a torn tail: counted, skipped, never trusted and never fatal.
+
+A module is in scope when it *declares* a sidecar filename — a
+module-level string constant matching ``_*.jsonl`` (the underscore prefix
+is what keeps these files out of the cache-shard scanner).  Within such a
+module:
+
+* **writer side** — a ``with open(..., "a")`` (or ``path.open("a")``)
+  block that ``.write()``s must also ``.flush()`` and ``os.fsync()``
+  inside the same block; an append missing either can tear arbitrarily
+  far back on crash, not just the final line.  Atomic temp-file+rename
+  rewrites (``write_text`` + ``os.replace``) are a different, equally
+  valid idiom and are not append-mode, so they pass untouched.
+* **reader side** — every ``json.loads(...)`` must sit inside a ``try``
+  whose handlers catch ``json.JSONDecodeError`` (or ``ValueError`` /
+  ``Exception``), because the one guaranteed input is a torn final line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    collect_imports,
+    dotted_name,
+    register,
+)
+
+_SIDECAR_NAME_RE = re.compile(r"^_[A-Za-z0-9_.-]*\.jsonl$")
+
+_TOLERANT_HANDLERS = {"JSONDecodeError", "ValueError", "Exception"}
+
+
+def _declares_sidecar_constant(tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        targets = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.target is not None:
+            targets, value = [stmt.target], stmt.value
+        if not targets or not isinstance(value, ast.Constant) \
+                or not isinstance(value.value, str):
+            continue
+        if _SIDECAR_NAME_RE.match(value.value):
+            return True
+    return False
+
+
+def _append_mode(call: ast.Call) -> bool:
+    """True when an ``open``/``.open`` call opens in append mode."""
+    name = dotted_name(call.func)
+    if name in ("open", "io.open"):
+        mode_index = 1
+    elif isinstance(call.func, ast.Attribute) and call.func.attr == "open":
+        mode_index = 0
+    else:
+        return False
+    mode: Optional[ast.expr] = None
+    if len(call.args) > mode_index:
+        mode = call.args[mode_index]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    return isinstance(mode, ast.Constant) and isinstance(mode.value, str) \
+        and mode.value.startswith("a")
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    names: set[str] = set()
+    if node is None:
+        return {"Exception"}  # bare except tolerates everything
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    for item in nodes:
+        name = dotted_name(item)
+        if name is not None:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+@register
+class JsonlContractChecker(Checker):
+    rule = "jsonl-contract"
+    description = (
+        "sidecar module appends without flush+fsync, or parses lines "
+        "without tolerating a torn tail"
+    )
+    contract = (
+        "PR 4/6: _checkpoint.jsonl/_telemetry.jsonl appends are one "
+        "flushed+fsynced line each; readers count and skip unparseable "
+        "lines (a kill can always tear the final line)"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return _declares_sidecar_constant(ctx.tree)
+
+    def run(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_writers(ctx))
+        findings.extend(self._check_readers(ctx))
+        return findings
+
+    def _check_writers(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(isinstance(item.context_expr, ast.Call)
+                       and _append_mode(item.context_expr)
+                       for item in node.items):
+                continue
+            writes = flushes = fsyncs = False
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                if isinstance(inner.func, ast.Attribute):
+                    if inner.func.attr == "write":
+                        writes = True
+                    elif inner.func.attr == "flush":
+                        flushes = True
+                if dotted_name(inner.func) == "os.fsync":
+                    fsyncs = True
+            if writes and not (flushes and fsyncs):
+                missing = []
+                if not flushes:
+                    missing.append("flush()")
+                if not fsyncs:
+                    missing.append("os.fsync()")
+                findings.append(ctx.finding(
+                    self.rule, node,
+                    "sidecar append writes without "
+                    + " and ".join(missing)
+                    + "; a crash may then tear more than the final line, "
+                    "which resume cannot repair",
+                ))
+        return findings
+
+    def _check_readers(self, ctx: ModuleContext) -> list[Finding]:
+        _module_aliases, from_imports = collect_imports(ctx.tree)
+        loads_aliases = {
+            name for name, origin in from_imports.items()
+            if origin == "json.loads"
+        }
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name != "json.loads" and name not in loads_aliases:
+                continue
+            if not self._tolerates_torn_line(ctx, node):
+                findings.append(ctx.finding(
+                    self.rule, node,
+                    "sidecar reader must tolerate a torn tail: wrap "
+                    "json.loads in try/except json.JSONDecodeError and "
+                    "skip (and count) the corrupt line",
+                ))
+        return findings
+
+    @staticmethod
+    def _tolerates_torn_line(ctx: ModuleContext, call: ast.Call) -> bool:
+        for ancestor in ctx.ancestors(call):
+            if not isinstance(ancestor, ast.Try):
+                continue
+            in_body = any(
+                any(node is call for node in ast.walk(stmt))
+                for stmt in ancestor.body
+            )
+            if in_body and any(
+                _handler_names(handler) & _TOLERANT_HANDLERS
+                for handler in ancestor.handlers
+            ):
+                return True
+        return False

@@ -1,0 +1,164 @@
+"""``telemetry-zero-cost``: registry handles are guarded, or the facade is used.
+
+PR 6's core contract: with telemetry disabled, ``telemetry.registry()``
+returns ``None`` and every instrumented hot path must reduce to one
+attribute load plus an ``is None`` test.  The safe spellings are:
+
+* the facade — ``telemetry.event(...)``, ``with telemetry.trace(...)``,
+  ``telemetry.snapshot()/merge()/reset()`` — which all no-op internally;
+* ``reg = telemetry.registry()`` followed by uses *guarded* by
+  ``if reg is not None:`` (or an early ``if reg is None: return``).
+
+An **unguarded** attribute call on the registry handle is both a perf
+leak and a latent crash: the moment telemetry is off, ``reg`` is ``None``
+and ``reg.counter(...)`` raises ``AttributeError`` — precisely in the
+paths only exercised with telemetry disabled.  Chaining straight off the
+accessor (``telemetry.registry().counter(...)``) is unguardable by
+construction and always flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    collect_imports,
+    dotted_name,
+    is_compare_to_none,
+    register,
+)
+
+
+def _is_registry_accessor(ctx_imports, func: ast.AST) -> bool:
+    """True for ``telemetry.registry`` / ``registry`` (imported) references."""
+    module_aliases, from_imports = ctx_imports
+    name = dotted_name(func)
+    if name is None:
+        return False
+    parts = name.split(".")
+    if len(parts) == 2 and parts[1] == "registry":
+        # `import repro.telemetry as telemetry` lands in module_aliases;
+        # `from repro import telemetry` binds the same module via from_imports.
+        origin = module_aliases.get(parts[0]) or from_imports.get(parts[0], "")
+        if origin.endswith("telemetry"):
+            return True
+    if len(parts) == 1 and from_imports.get(parts[0], "").endswith(
+            "telemetry.registry"):
+        return True
+    return False
+
+
+@register
+class TelemetryZeroCostChecker(Checker):
+    rule = "telemetry-zero-cost"
+    description = (
+        "unguarded use of the Optional registry handle returned by "
+        "telemetry.registry()"
+    )
+    contract = (
+        "PR 6: registry() is None while telemetry is off; hot-path "
+        "instrumentation is a single `is None` test, and direct registry "
+        "calls must sit behind that guard (or use the telemetry.event/trace "
+        "facade, which no-ops internally)"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # The facade's own implementation legitimately touches _registry.
+        return "/telemetry/" not in ctx.path.resolve().as_posix()
+
+    def run(self, ctx: ModuleContext) -> list[Finding]:
+        imports = collect_imports(ctx.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # (a) chained: telemetry.registry().counter(...)
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Call) \
+                    and _is_registry_accessor(imports, func.value.func):
+                findings.append(ctx.finding(
+                    self.rule, node,
+                    "chaining off telemetry.registry() crashes when telemetry "
+                    "is disabled (registry() is None); bind it to a local and "
+                    "guard with `if reg is not None:`",
+                ))
+                continue
+            # (b) reg = telemetry.registry(); later unguarded reg.counter(...)
+            if not (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)):
+                continue
+            handle = func.value.id
+            function = ctx.enclosing_function(node)
+            if function is None or not self._binds_registry(
+                    imports, function, handle):
+                continue
+            if not self._is_guarded(ctx, node, function, handle):
+                findings.append(ctx.finding(
+                    self.rule, node,
+                    f"`{handle}` holds telemetry.registry(), which is None "
+                    "while telemetry is disabled; guard this call with "
+                    f"`if {handle} is not None:` (or an early "
+                    f"`if {handle} is None: return`)",
+                ))
+        return findings
+
+    @staticmethod
+    def _binds_registry(
+        imports,
+        function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        handle: str,
+    ) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call) \
+                    and _is_registry_accessor(imports, node.value.func):
+                if any(isinstance(target, ast.Name) and target.id == handle
+                       for target in node.targets):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_guarded(
+        ctx: ModuleContext,
+        call: ast.Call,
+        function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        handle: str,
+    ) -> bool:
+        # Lexical ancestor guard: `if reg is not None:` body, the else branch
+        # of `if reg is None:`, or a plain truthiness test `if reg:`.
+        for ancestor in ctx.ancestors(call):
+            if ancestor is function:
+                break
+            if not isinstance(ancestor, ast.If):
+                continue
+            compare = is_compare_to_none(ancestor.test)
+            if compare is not None and compare[0] == handle:
+                negated = compare[1]
+                in_body = any(node is call for stmt in ancestor.body
+                              for node in ast.walk(stmt))
+                if negated and in_body:
+                    return True
+                if not negated and not in_body:
+                    return True
+            elif isinstance(ancestor.test, ast.Name) \
+                    and ancestor.test.id == handle:
+                if any(node is call for stmt in ancestor.body
+                       for node in ast.walk(stmt)):
+                    return True
+        # Early-exit guard anywhere above the call in the same function:
+        # `if reg is None: return` dominates the straight-line uses below it.
+        call_line = getattr(call, "lineno", 0)
+        for node in ast.walk(function):
+            if not isinstance(node, ast.If) or getattr(node, "lineno", 0) >= call_line:
+                continue
+            compare = is_compare_to_none(node.test)
+            if compare is None or compare[0] != handle or compare[1]:
+                continue
+            if node.body and isinstance(
+                    node.body[-1],
+                    (ast.Return, ast.Raise, ast.Continue, ast.Break)):
+                return True
+        return False

@@ -1,0 +1,107 @@
+"""``no-unseeded-random``: search/sweep/shard draw randomness from a threaded RNG.
+
+Since PR 1 every exploration strategy receives a seeded
+``numpy.random.Generator`` (``self.rng``, derived from the task seed), and
+PR 2/4 made the sweep's journals byte-identical across worker counts and
+resumes on the strength of that determinism.  One call into the *module
+level* ``random`` / ``numpy.random`` global state anywhere in ``search/``,
+``sweep/`` or ``shard/`` breaks all of it — the global RNG is shared
+across threads, unseeded by default, and invisible to the task uid.
+
+Flagged: calls through the stdlib ``random`` module's global instance
+(``random.random()``, ``random.choice()``, a bare ``randint()`` imported
+from it, ``random.seed()``) and through numpy's legacy global state
+(``np.random.rand()``, ``np.random.seed()``).  Constructing an explicitly
+seeded source — ``random.Random(seed)``, ``np.random.default_rng(seed)``,
+``np.random.Generator``/``SeedSequence`` — is the fix, not a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    collect_imports,
+    dotted_name,
+    register,
+)
+
+#: Constructors of explicitly seeded randomness sources (allowed).
+_SEEDED_FACTORIES = {"Random", "SystemRandom", "default_rng", "Generator",
+                     "SeedSequence", "getstate", "setstate"}
+
+_SCOPE_MARKERS = ("/search/", "/sweep/", "/shard/")
+
+
+@register
+class UnseededRandomChecker(Checker):
+    rule = "no-unseeded-random"
+    description = (
+        "module-level random.* / np.random.* global-state call in "
+        "search/, sweep/ or shard/"
+    )
+    contract = (
+        "PR 1-4: strategies draw from a seeded Generator threaded through "
+        "the task (self.rng / SweepTask.seed); journals must stay "
+        "byte-identical across workers=1 vs N and across resumes"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        path = ctx.path.resolve().as_posix()
+        return any(marker in path for marker in _SCOPE_MARKERS)
+
+    def run(self, ctx: ModuleContext) -> list[Finding]:
+        module_aliases, from_imports = collect_imports(ctx.tree)
+        random_aliases = {
+            alias for alias, module in module_aliases.items() if module == "random"
+        }
+        numpy_aliases = {
+            alias for alias, module in module_aliases.items()
+            if module in ("numpy", "numpy.random")
+        }
+        numpy_random_aliases = {
+            alias for alias, module in module_aliases.items()
+            if module == "numpy.random"
+        }
+        stdlib_from = {
+            name for name, origin in from_imports.items()
+            if origin.startswith("random.")
+            and origin.split(".", 1)[1] not in _SEEDED_FACTORIES
+        }
+        numpy_from = {
+            name for name, origin in from_imports.items()
+            if origin.startswith("numpy.random.")
+            and origin.rsplit(".", 1)[1] not in _SEEDED_FACTORIES
+        }
+
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            flagged = None
+            if len(parts) == 2 and parts[0] in random_aliases \
+                    and parts[1] not in _SEEDED_FACTORIES:
+                flagged = f"stdlib random global state ({name})"
+            elif len(parts) == 1 and parts[0] in stdlib_from | numpy_from:
+                flagged = f"global-RNG function imported from random ({name})"
+            elif len(parts) == 3 and parts[0] in numpy_aliases \
+                    and parts[1] == "random" and parts[2] not in _SEEDED_FACTORIES:
+                flagged = f"numpy legacy global RNG ({name})"
+            elif len(parts) == 2 and parts[0] in numpy_random_aliases \
+                    and parts[1] not in _SEEDED_FACTORIES:
+                flagged = f"numpy legacy global RNG ({name})"
+            if flagged is not None:
+                findings.append(ctx.finding(
+                    self.rule, node,
+                    f"{flagged} is unseeded and shared across threads; draw "
+                    "from the seeded Generator threaded through the task "
+                    "(self.rng / np.random.default_rng(seed)) instead",
+                ))
+        return findings

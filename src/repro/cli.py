@@ -318,6 +318,33 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-size-mb", type=float, default=None,
                        help="gc: evict oldest entries until the directory fits this budget")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis invariant linter over the source tree",
+        parents=[common],
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: the src/ tree, or the installed package)")
+    lint.add_argument("--rule", action="append", dest="rules", default=None,
+                      metavar="RULE",
+                      help="run only this rule (repeatable); "
+                           "see --list-rules for the registry")
+    lint.add_argument("--json", action="store_true",
+                      help="print the full report as JSON (findings, "
+                           "suppressions, baseline state)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="grandfathered-findings file (default: the nearest "
+                           ".repro-lint-baseline.json above the lint root)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file (report everything)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to grandfather the current "
+                           "findings, then exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and the contracts "
+                           "they encode")
+
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact",
                                 parents=[common])
     experiment.add_argument("name", choices=["fig4", "fig5", "fig6", "table2", "ablations"],
@@ -659,6 +686,75 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_lint_paths() -> list[str]:
+    """What ``lint`` scans when no paths are given.
+
+    Prefer the working tree's ``src/repro`` (the common case: running at
+    the repo root, as CI does); fall back to the installed package so the
+    command still works from anywhere.
+    """
+    import pathlib
+
+    tree = pathlib.Path("src") / "repro"
+    if tree.is_dir():
+        return [str(tree)]
+    import repro
+
+    return [str(pathlib.Path(repro.__file__).parent)]
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        all_checkers,
+        discover_baseline,
+        lint_paths,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule, checker in sorted(all_checkers().items()):
+            print(f"{rule}")
+            print(f"  {checker.description}")
+            print(f"  contract: {checker.contract}")
+        return 0
+
+    paths = args.paths or _default_lint_paths()
+    baseline = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline = args.baseline
+        else:
+            baseline = discover_baseline(paths[0])
+    try:
+        report = lint_paths(paths, rules=args.rules, baseline=baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-codesign lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if args.rules:
+            print("repro-codesign lint: error: --update-baseline must run "
+                  "the full rule set (drop --rule)", file=sys.stderr)
+            return 2
+        from repro.analysis import BASELINE_FILENAME
+
+        target = args.baseline or str(baseline or BASELINE_FILENAME)
+        # Grandfather what is active now *plus* what the old baseline still
+        # excuses, so updating never un-grandfathers an untouched finding.
+        path = save_baseline(target, [*report.findings, *report.baselined])
+        print(f"Baseline written to {path} "
+              f"({len(report.findings) + len(report.baselined)} finding(s))")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _run_experiment(name: str) -> int:
     if name == "fig4":
         from repro.experiments.fig4 import report_fig4, run_fig4
@@ -741,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_compare(args)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "experiment":
         return _run_experiment(args.name)
     if args.command == "codegen":

@@ -119,6 +119,11 @@ class DiskEvaluationCache:
         Stem of the shard file new entries are appended to.  Give every
         concurrent writer (one sweep task = one worker process) a unique
         shard so appends never interleave; defaults to the namespace.
+    clock:
+        Wall-clock source for the per-record ``ts`` timestamps (default
+        :func:`time.time`) — the same injected-clock contract as the
+        checkpoint, timings and telemetry sidecars, so frozen-clock tests
+        get byte-stable shard records.
     """
 
     def __init__(
@@ -131,6 +136,7 @@ class DiskEvaluationCache:
         context: str = "",
         shard: Optional[str] = None,
         key_fn: Callable[["DNNConfig"], str] = config_cache_key,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self.estimator = estimator
         self.directory = pathlib.Path(directory)
@@ -147,6 +153,7 @@ class DiskEvaluationCache:
         self._hits = 0
         self._misses = 0
         self._lock = threading.Lock()
+        self._clock = clock
         self._load()
 
     # ------------------------------------------------------------ persistence
@@ -190,7 +197,7 @@ class DiskEvaluationCache:
             "namespace": self.namespace,
             "key": key,
             "estimate": _estimate_payload(estimate),
-            "ts": round(time.time(), 3),
+            "ts": round(self._clock(), 3),
         }
         with self.shard_path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -68,10 +68,12 @@ class TelemetrySink:
             if self._failed:
                 return
             try:
+                # repro: disable=lock-discipline -- this lock exists to order appends; it is leaf-level (never taken while any other lock is held) and nothing re-enters under it
                 with open(self.path, "a", encoding="utf-8") as handle:
                     handle.write(line)
                     handle.flush()
                     if self._fsync:
+                        # repro: disable=lock-discipline -- per-record fsync IS the sidecar durability contract; callers (LeaseBoard, SweepRunner) already fire events outside their own locks
                         os.fsync(handle.fileno())
             except OSError as exc:
                 # Telemetry must never take the run down with it.

@@ -242,6 +242,23 @@ class TestDiskEvaluationCache:
         assert reloaded.evaluate(initial)
         assert counting.calls == 1
 
+    def test_record_timestamps_come_from_injected_clock(self, tmp_path, engine, initial):
+        # PR 6 contract: every persisted timestamp flows through the injected
+        # clock, so a frozen clock yields byte-stable shard records.
+        counting = CountingEstimator(engine.estimate)
+        frozen = DiskEvaluationCache(counting, tmp_path, device="PYNQ-Z1",
+                                     clock=lambda: 1700000000.1234)
+        frozen.evaluate(initial)
+        shard = next(tmp_path.glob("*.jsonl"))
+        records = [json.loads(line) for line in shard.read_text().splitlines()]
+        assert records and all(r["ts"] == 1700000000.123 for r in records)
+        # Two frozen-clock runs in fresh directories produce identical bytes.
+        again = DiskEvaluationCache(counting, tmp_path / "other", device="PYNQ-Z1",
+                                    clock=lambda: 1700000000.1234)
+        again.evaluate(initial)
+        other = next((tmp_path / "other").glob("*.jsonl"))
+        assert other.read_bytes() == shard.read_bytes()
+
     def test_fingerprint_stable_and_sensitive(self, engine):
         base = engine.coefficients
         assert coefficients_fingerprint(base) == coefficients_fingerprint(base)
