@@ -1,0 +1,228 @@
+"""Batched vs scalar analytical-model evaluation (BENCH_eval.json).
+
+Measures the speedup of :class:`repro.hw.batch.BatchedDNNEstimator` over the
+scalar per-config path — both as pure estimation throughput and through
+``BundleEvaluator.coarse_evaluate`` — and asserts the results stay
+bit-identical, so the speedup is a pure execution-mode change.
+
+The perf-trajectory test writes ``BENCH_eval.json`` (to ``$REPRO_BENCH_DIR``
+or the working directory) with configs/sec and the measured speedups.  The
+*ratio* metrics are machine-independent, so the test gates them two ways:
+a hard floor, and a slack comparison against the committed baseline at the
+repository root (the first trajectory point), failing on a large
+regression wherever CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import repro.telemetry as telemetry
+from repro.core.auto_hls import AutoHLS
+from repro.core.bundle_evaluation import BundleEvaluator
+from repro.core.bundle_generation import get_bundle
+from repro.core.dnn_config import DNNConfig
+from repro.detection.task import TINY_DETECTION_TASK
+from repro.hw.device import PYNQ_Z1
+
+#: Committed first trajectory point (repo root), used as the regression
+#: baseline for the ratio metrics.
+BASELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_eval.json"
+
+#: Hard machine-independent floors for the speedup ratios.
+PURE_SPEEDUP_FLOOR = 5.0
+COARSE_SPEEDUP_FLOOR = 3.0
+#: A run must stay within this factor of the committed baseline's ratios.
+BASELINE_SLACK = 0.5
+
+BUNDLE_IDS = (1, 3, 5, 9, 13, 17)
+PARALLEL_FACTORS = (4, 8, 16)
+REPETITIONS = (2, 3)
+
+
+def _configs() -> list[DNNConfig]:
+    """A coarse-evaluation-shaped cross-product: 36 heterogeneous configs."""
+    configs = []
+    for bundle_id in BUNDLE_IDS:
+        for reps in REPETITIONS:
+            for pf in PARALLEL_FACTORS:
+                configs.append(DNNConfig(
+                    bundle=get_bundle(bundle_id),
+                    task=TINY_DETECTION_TASK,
+                    num_repetitions=reps,
+                    channel_expansion=(1.5,) * reps,
+                    downsample=(1,) * reps,
+                    stem_channels=16,
+                    parallel_factor=pf,
+                    max_channels=64,
+                ))
+    return configs
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.latency_ms == b.latency_ms
+        and a.compute_ms == b.compute_ms
+        and a.data_movement_ms == b.data_movement_ms
+        and a.resources == b.resources
+    )
+
+
+def _measure_speedups():
+    """(pure_speedup, coarse_speedup, batched_wall_s, n_configs), warm caches."""
+    auto = AutoHLS(PYNQ_Z1)
+    configs = _configs()
+    auto.estimate_batch(configs)  # warm the group-statics caches
+
+    start = time.perf_counter()
+    scalar = [auto.estimate(config) for config in configs]
+    scalar_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = auto.estimate_batch(configs)
+    batched_time = time.perf_counter() - start
+
+    assert all(_identical(a, b) for a, b in zip(batched, scalar))
+    pure_speedup = scalar_time / batched_time if batched_time > 0 else float("inf")
+
+    bundles = [get_bundle(i) for i in BUNDLE_IDS]
+    kwargs = dict(task=TINY_DETECTION_TASK, device=PYNQ_Z1, stem_channels=16)
+    batched_eval = BundleEvaluator(batched=True, **kwargs)
+    scalar_eval = BundleEvaluator(batched=False, **kwargs)
+    batched_eval.coarse_evaluate(bundles, parallel_factors=PARALLEL_FACTORS)  # warm
+
+    start = time.perf_counter()
+    scalar_records = scalar_eval.coarse_evaluate(bundles, parallel_factors=PARALLEL_FACTORS)
+    scalar_coarse_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_records = batched_eval.coarse_evaluate(bundles, parallel_factors=PARALLEL_FACTORS)
+    batched_coarse_time = time.perf_counter() - start
+
+    assert len(batched_records) == len(scalar_records)
+    assert all(
+        a.latency_ms == b.latency_ms and a.accuracy == b.accuracy
+        and a.resources == b.resources
+        for a, b in zip(batched_records, scalar_records)
+    )
+    coarse_speedup = (
+        scalar_coarse_time / batched_coarse_time
+        if batched_coarse_time > 0 else float("inf")
+    )
+    return pure_speedup, coarse_speedup, batched_time, len(configs)
+
+
+def test_batched_estimation_speedup(benchmark):
+    """Pure estimation: one vectorized call vs the scalar per-config loop."""
+    auto = AutoHLS(PYNQ_Z1)
+    configs = _configs()
+    auto.estimate_batch(configs)  # warm
+
+    start = time.perf_counter()
+    scalar = [auto.estimate(config) for config in configs]
+    scalar_time = time.perf_counter() - start
+
+    batched = benchmark.pedantic(
+        lambda: auto.estimate_batch(configs), rounds=5, iterations=1, warmup_rounds=1
+    )
+    batched_time = benchmark.stats.stats.mean
+
+    speedup = scalar_time / batched_time if batched_time > 0 else float("inf")
+    print(f"\n[batched estimation] {len(configs)} configs: scalar "
+          f"{scalar_time * 1e3:.2f} ms, batched {batched_time * 1e3:.2f} ms "
+          f"({speedup:.1f}x)")
+    assert all(_identical(a, b) for a, b in zip(batched, scalar))
+    assert speedup >= PURE_SPEEDUP_FLOOR
+
+
+def test_batched_coarse_evaluation_speedup(benchmark):
+    """coarse_evaluate with the batched cross-product vs the scalar loop."""
+    bundles = [get_bundle(i) for i in BUNDLE_IDS]
+    kwargs = dict(task=TINY_DETECTION_TASK, device=PYNQ_Z1, stem_channels=16)
+    batched_eval = BundleEvaluator(batched=True, **kwargs)
+    scalar_eval = BundleEvaluator(batched=False, **kwargs)
+    batched_eval.coarse_evaluate(bundles, parallel_factors=PARALLEL_FACTORS)  # warm
+
+    start = time.perf_counter()
+    scalar_records = scalar_eval.coarse_evaluate(bundles, parallel_factors=PARALLEL_FACTORS)
+    scalar_time = time.perf_counter() - start
+
+    batched_records = benchmark.pedantic(
+        lambda: batched_eval.coarse_evaluate(bundles, parallel_factors=PARALLEL_FACTORS),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+    batched_time = benchmark.stats.stats.mean
+
+    speedup = scalar_time / batched_time if batched_time > 0 else float("inf")
+    print(f"\n[batched coarse eval] {len(batched_records)} records: scalar "
+          f"{scalar_time * 1e3:.2f} ms, batched {batched_time * 1e3:.2f} ms "
+          f"({speedup:.1f}x)")
+    assert all(
+        a.latency_ms == b.latency_ms and a.accuracy == b.accuracy
+        and a.resources == b.resources
+        for a, b in zip(batched_records, scalar_records)
+    )
+    assert speedup >= COARSE_SPEEDUP_FLOOR
+
+
+def test_perf_trajectory_bench_json():
+    """Archive the speedups as BENCH_eval.json and gate vs the baseline.
+
+    Wall-clock throughput (configs/sec) is machine-dependent and only
+    archived for the trajectory; the speedup *ratios* are gated — against
+    hard floors and, with :data:`BASELINE_SLACK`, against the committed
+    baseline at the repository root.
+    """
+    from repro.telemetry import write_bench_json
+
+    # Read the committed baseline before writing: when CI runs from the
+    # repository root the fresh artifact lands on the same path.
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text()).get("metrics")
+
+    telemetry.enable(fresh=True)
+    try:
+        pure_speedup, coarse_speedup, batched_time, n_configs = _measure_speedups()
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+
+    metrics = {
+        "configs": n_configs,
+        "batched_wall_s": round(batched_time, 6),
+        "configs_per_s": round(n_configs / batched_time, 1) if batched_time > 0 else 0.0,
+        "pure_speedup": round(pure_speedup, 2),
+        "coarse_speedup": round(coarse_speedup, 2),
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = write_bench_json(
+        os.path.join(out_dir, "BENCH_eval.json"),
+        bench="eval_batch",
+        metrics=metrics,
+        meta={
+            "device": "pynq-z1",
+            "bundles": list(BUNDLE_IDS),
+            "parallel_factors": list(PARALLEL_FACTORS),
+            "repetitions": list(REPETITIONS),
+        },
+        snapshot=snap,
+    )
+    print(f"\n[eval perf trajectory] {metrics['configs_per_s']:.0f} configs/s, "
+          f"pure {pure_speedup:.1f}x, coarse {coarse_speedup:.1f}x -> {path}")
+    assert os.path.exists(path)
+    assert pure_speedup >= PURE_SPEEDUP_FLOOR
+    assert coarse_speedup >= COARSE_SPEEDUP_FLOOR
+
+    if baseline:
+        assert pure_speedup >= BASELINE_SLACK * baseline["pure_speedup"], (
+            f"pure estimation speedup regressed: {pure_speedup:.1f}x vs "
+            f"baseline {baseline['pure_speedup']:.1f}x"
+        )
+        assert coarse_speedup >= BASELINE_SLACK * baseline["coarse_speedup"], (
+            f"coarse evaluation speedup regressed: {coarse_speedup:.1f}x vs "
+            f"baseline {baseline['coarse_speedup']:.1f}x"
+        )

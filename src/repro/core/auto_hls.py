@@ -13,7 +13,7 @@ Auto-HLS plays two roles in the co-design flow (Fig. 1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.dnn_config import DNNConfig
 from repro.hw.analytical import (
@@ -22,6 +22,7 @@ from repro.hw.analytical import (
     DNNPerformanceModel,
     PerformanceEstimate,
 )
+from repro.hw.batch import BatchedDNNEstimator
 from repro.hw.device import FPGADevice
 from repro.hw.hls.codegen import GeneratedDesign, HLSCodeGenerator
 from repro.hw.hls.report import HLSReport
@@ -66,6 +67,9 @@ class AutoHLS:
         self.device = device
         self.clock_mhz = clock_mhz or device.default_clock_mhz
         self.coefficients = coefficients
+        # Lazily built; its group-statics caches survive fit_models refits
+        # because coefficients and clock are per-call inputs.
+        self._batch_estimator: Optional[BatchedDNNEstimator] = None
 
     # ----------------------------------------------------------- accelerator
     def build_accelerator(
@@ -84,6 +88,20 @@ class AutoHLS:
         """Fast analytical latency / resource estimate (used inside SCD)."""
         accelerator = self.build_accelerator(config)
         return DNNPerformanceModel(accelerator, self.coefficients).estimate()
+
+    def estimate_batch(self, configs: Sequence[DNNConfig]) -> list[PerformanceEstimate]:
+        """Vectorized :meth:`estimate` over many configs (bit-identical).
+
+        ``EvaluationCache.evaluate_batch`` discovers this method through
+        :func:`repro.search.cache.resolve_batch_estimator` even when it was
+        handed the bound ``estimate`` method, so every generation-sized batch
+        in the search strategies takes the NumPy path automatically.
+        """
+        if self._batch_estimator is None:
+            self._batch_estimator = BatchedDNNEstimator(self.device)
+        return self._batch_estimator.estimate_batch(
+            configs, coefficients=self.coefficients, clock_mhz=self.clock_mhz
+        )
 
     # --------------------------------------------------------------- synthesis
     def generate(

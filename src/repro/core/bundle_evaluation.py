@@ -27,9 +27,11 @@ from repro.core.pareto import group_by, pareto_front
 from repro.detection.accuracy_model import AccuracyModel, SurrogateAccuracyModel
 from repro.detection.task import DetectionTask
 from repro.hw.analytical import AnalyticalModelCoefficients, DEFAULT_COEFFICIENTS, DNNPerformanceModel
+from repro.hw.batch import BatchedDNNEstimator
 from repro.hw.device import FPGADevice
 from repro.hw.resource import ResourceVector
 from repro.hw.tile_arch import TileArchAccelerator
+from repro.hw.workload import NetworkWorkload
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -73,8 +75,34 @@ class FineGrainedEvaluation:
         return self.bundle.bundle_id
 
 
+def best_evaluation_per_bundle(
+    evaluations: Sequence[BundleEvaluation],
+) -> list[BundleEvaluation]:
+    """Reduce evaluations to each bundle's lowest-latency record.
+
+    Coarse evaluation scores every bundle at several parallel factors; both
+    Pareto selection and top-N ranking want one representative per bundle —
+    the fastest one.  Ties keep the first record seen, and the returned list
+    preserves first-seen bundle order.
+    """
+    best: dict[int, BundleEvaluation] = {}
+    for ev in evaluations:
+        current = best.get(ev.bundle_id)
+        if current is None or ev.latency_ms < current.latency_ms:
+            best[ev.bundle_id] = ev
+    return list(best.values())
+
+
 class BundleEvaluator:
-    """Coarse- and fine-grained bundle evaluation and Pareto selection."""
+    """Coarse- and fine-grained bundle evaluation and Pareto selection.
+
+    Both evaluation passes score their whole bundle cross-product (bundle x
+    parallel factor, or bundle x replication x activation) through the
+    vectorized :class:`repro.hw.batch.BatchedDNNEstimator` in one call;
+    ``batched=False`` forces the scalar per-config path.  The two paths are
+    bit-identical — the golden-equivalence suite asserts it — so the switch
+    only changes speed.
+    """
 
     def __init__(
         self,
@@ -85,6 +113,7 @@ class BundleEvaluator:
         clock_mhz: Optional[float] = None,
         stem_channels: int = 48,
         method2_repetitions: int = 3,
+        batched: bool = True,
     ) -> None:
         self.task = task
         self.device = device
@@ -93,6 +122,8 @@ class BundleEvaluator:
         self.clock_mhz = clock_mhz or device.default_clock_mhz
         self.stem_channels = stem_channels
         self.method2_repetitions = method2_repetitions
+        self.batched = batched
+        self._batch_estimator: Optional[BatchedDNNEstimator] = None
 
     # ----------------------------------------------------------- construction
     def _config_for(
@@ -125,7 +156,7 @@ class BundleEvaluator:
         )
 
     def _estimate(self, config: DNNConfig) -> tuple[float, ResourceVector]:
-        """Analytical latency (ms) and resources of a configuration."""
+        """Scalar analytical latency (ms) and resources of one configuration."""
         workload = config.to_workload()
         accelerator = TileArchAccelerator.build(
             workload, self.device, parallel_factor=config.parallel_factor,
@@ -134,9 +165,35 @@ class BundleEvaluator:
         estimate = DNNPerformanceModel(accelerator, self.coefficients).estimate()
         return estimate.latency_ms, estimate.resources
 
-    def _accuracy(self, config: DNNConfig, epochs: int = PROXY_EPOCHS) -> float:
+    def _estimate_many(self, configs: Sequence[DNNConfig]) -> list[tuple[float, ResourceVector]]:
+        """Latency / resources of many configurations, batched when enabled."""
+        if not self.batched:
+            return [self._estimate(config) for config in configs]
+        if self._batch_estimator is None:
+            self._batch_estimator = BatchedDNNEstimator(self.device)
+        estimates = self._batch_estimator.estimate_batch(
+            configs, coefficients=self.coefficients, clock_mhz=self.clock_mhz
+        )
+        return [(est.latency_ms, est.resources) for est in estimates]
+
+    def _cached_workload(self, config: DNNConfig) -> Optional[NetworkWorkload]:
+        """The batched estimator's workload for ``config``, if one exists.
+
+        Handed to :meth:`DNNConfig.features` so the accuracy pass does not
+        rebuild a workload the latency pass already constructed.
+        """
+        if self._batch_estimator is None:
+            return None
+        return self._batch_estimator.workload_for(config)
+
+    def _accuracy(
+        self,
+        config: DNNConfig,
+        epochs: int = PROXY_EPOCHS,
+        workload: Optional[NetworkWorkload] = None,
+    ) -> float:
         """Accuracy of the evaluation DNN after proxy training."""
-        return self.accuracy_model.predict(config.features(epochs=epochs))
+        return self.accuracy_model.predict(config.features(epochs=epochs, workload=workload))
 
     # --------------------------------------------------------- coarse-grained
     def coarse_evaluate(
@@ -155,11 +212,23 @@ class BundleEvaluator:
         evaluations: list[BundleEvaluation] = []
         with telemetry.trace("core.bundle_evaluation.coarse", method=method,
                              bundles=len(bundles)):
+            # The full bundle x parallel-factor cross-product is scored in
+            # one batched call; records are assembled in the same
+            # (bundle-major, factor-minor) order the scalar loop produced.
+            configs = [
+                self._config_for(bundle, method, pf)
+                for bundle in bundles
+                for pf in parallel_factors
+            ]
+            estimates = self._estimate_many(configs)
+            cursor = 0
             for bundle in bundles:
-                accuracy = self._accuracy(self._config_for(bundle, method, parallel_factors[0]))
+                probe = self._config_for(bundle, method, parallel_factors[0])
+                accuracy = self._accuracy(probe, workload=self._cached_workload(probe))
                 for pf in parallel_factors:
-                    config = self._config_for(bundle, method, pf)
-                    latency, resources = self._estimate(config)
+                    config = configs[cursor]
+                    latency, resources = estimates[cursor]
+                    cursor += 1
                     evaluations.append(BundleEvaluation(
                         bundle=bundle,
                         parallel_factor=pf,
@@ -187,12 +256,7 @@ class BundleEvaluator:
         DSP-starved IoT devices), then a latency-vs-accuracy Pareto front is
         computed per group; the union of front members is returned.
         """
-        best_per_bundle: dict[int, BundleEvaluation] = {}
-        for ev in evaluations:
-            current = best_per_bundle.get(ev.bundle_id)
-            if current is None or ev.latency_ms < current.latency_ms:
-                best_per_bundle[ev.bundle_id] = ev
-        records = list(best_per_bundle.values())
+        records = best_evaluation_per_bundle(evaluations)
         groups = group_by(records, key=lambda e: e.dsp, num_groups=num_resource_groups)
         selected: set[int] = set()
         for members in groups.values():
@@ -221,13 +285,10 @@ class BundleEvaluator:
         if not evaluations:
             raise ValueError("No evaluations to select from")
         pareto_ids = set(self.pareto_bundles(evaluations, num_resource_groups))
-        best_per_bundle: dict[int, BundleEvaluation] = {}
-        for ev in evaluations:
-            current = best_per_bundle.get(ev.bundle_id)
-            if current is None or ev.latency_ms < current.latency_ms:
-                best_per_bundle[ev.bundle_id] = ev
-
-        candidates = [ev for ev in best_per_bundle.values() if ev.bundle_id in pareto_ids]
+        candidates = [
+            ev for ev in best_evaluation_per_bundle(evaluations)
+            if ev.bundle_id in pareto_ids
+        ]
         max_latency = max(ev.latency_ms for ev in candidates)
         if max_latency <= 0:
             raise ValueError(
@@ -260,24 +321,35 @@ class BundleEvaluator:
         """Fine-grained evaluation of the selected bundles (Fig. 5)."""
         results: list[FineGrainedEvaluation] = []
         with telemetry.trace("core.bundle_evaluation.fine", bundles=len(bundles)):
-            for bundle in bundles:
-                for reps in repetition_counts:
-                    for activation in activations:
-                        config = self._config_for(
-                            bundle, method=2, parallel_factor=parallel_factor,
-                            activation=activation, num_repetitions=reps,
-                        )
-                        latency, resources = self._estimate(config)
-                        accuracy = self._accuracy(config)
-                        results.append(FineGrainedEvaluation(
-                            bundle=bundle,
-                            num_repetitions=reps,
-                            activation=activation,
-                            latency_ms=latency,
-                            accuracy=accuracy,
-                            resources=resources,
-                            config=config,
-                        ))
+            # One batched call over the bundle x replication x activation
+            # cross-product; assembly preserves the scalar loop order.
+            grid = [
+                (bundle, reps, activation)
+                for bundle in bundles
+                for reps in repetition_counts
+                for activation in activations
+            ]
+            configs = [
+                self._config_for(
+                    bundle, method=2, parallel_factor=parallel_factor,
+                    activation=activation, num_repetitions=reps,
+                )
+                for bundle, reps, activation in grid
+            ]
+            estimates = self._estimate_many(configs)
+            for (bundle, reps, activation), config, (latency, resources) in zip(
+                grid, configs, estimates
+            ):
+                accuracy = self._accuracy(config, workload=self._cached_workload(config))
+                results.append(FineGrainedEvaluation(
+                    bundle=bundle,
+                    num_repetitions=reps,
+                    activation=activation,
+                    latency_ms=latency,
+                    accuracy=accuracy,
+                    resources=resources,
+                    config=config,
+                ))
         reg = telemetry.registry()
         if reg is not None:
             reg.counter("core.bundle_evaluation.evaluations").inc(len(results))

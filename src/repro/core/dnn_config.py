@@ -277,9 +277,17 @@ class DNNConfig:
         return model
 
     # -------------------------------------------------------------- features
-    def features(self, epochs: int = 200) -> CandidateFeatures:
-        """Structural features for the surrogate accuracy model."""
-        workload = self.to_workload()
+    def features(
+        self, epochs: int = 200, workload: Optional[NetworkWorkload] = None
+    ) -> CandidateFeatures:
+        """Structural features for the surrogate accuracy model.
+
+        ``workload`` accepts a precomputed :meth:`to_workload` result so
+        callers that already built one (e.g. the batched estimator's workload
+        cache) do not pay for a second construction.
+        """
+        if workload is None:
+            workload = self.to_workload()
         return CandidateFeatures(
             macs=float(workload.total_macs),
             params=workload.total_params,

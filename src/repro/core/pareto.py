@@ -19,26 +19,33 @@ def pareto_front(
     returned list is sorted by increasing cost.
     """
     items = list(items)
-    # cost()/value() may be arbitrarily expensive; evaluate each exactly once
-    # instead of O(n^2) times inside the dominance loop.
+    # cost()/value() may be arbitrarily expensive; evaluate each exactly once.
     costs = [cost(item) for item in items]
     values = [value(item) for item in items]
-    front: list[tuple[float, T]] = []
-    for i, candidate in enumerate(items):
-        dominated = False
-        for j in range(len(items)):
-            if j == i:
-                continue
-            better_cost = costs[j] <= costs[i]
-            better_value = values[j] >= values[i]
-            strictly = costs[j] < costs[i] or values[j] > values[i]
-            if better_cost and better_value and strictly:
-                dominated = True
-                break
-        if not dominated:
-            front.append((costs[i], candidate))
-    front.sort(key=lambda pair: pair[0])
-    return [candidate for _, candidate in front]
+    # O(n log n) sweep in ascending cost order: an item survives iff its
+    # value strictly exceeds every strictly-cheaper item's value (otherwise
+    # the cheaper item dominates via the strict cost inequality) and ties
+    # the best value within its own equal-cost group (a same-cost item with
+    # strictly higher value dominates; exact (cost, value) duplicates do not
+    # dominate each other and all survive).  The stable sort keeps equal-cost
+    # items in input order, matching the order the O(n^2) scan produced.
+    order = sorted(range(len(items)), key=lambda i: costs[i])
+    front: list[T] = []
+    best_value = float("-inf")
+    pos = 0
+    while pos < len(order):
+        end = pos
+        group_best = float("-inf")
+        while end < len(order) and costs[order[end]] == costs[order[pos]]:
+            group_best = max(group_best, values[order[end]])
+            end += 1
+        if group_best > best_value:
+            front.extend(
+                items[i] for i in order[pos:end] if values[i] == group_best
+            )
+            best_value = group_best
+        pos = end
+    return front
 
 
 def group_by(
@@ -59,6 +66,6 @@ def group_by(
     width = (hi - lo) / num_groups if hi > lo else 1.0
     groups: dict[int, list[T]] = {}
     for item, k in zip(items, keys):
-        index = min(int((k - lo) / width), num_groups - 1) if width > 0 else 0
+        index = min(int((k - lo) / width), num_groups - 1)
         groups.setdefault(index, []).append(item)
     return groups

@@ -72,6 +72,23 @@ class AnalyticalModelCoefficients:
 DEFAULT_COEFFICIENTS = AnalyticalModelCoefficients()
 
 
+def bundle_layer_groups(workload: NetworkWorkload) -> list[list[LayerWorkload]]:
+    """Partition a workload's layers into the per-bundle groups of Eq. 4.
+
+    One group per bundle index (in ascending order), with the stray layers
+    (stem / head, ``bundle_index < 0``) forming a trailing group.  A workload
+    with no bundle structure is a single group.
+    """
+    indices = workload.bundle_indices()
+    if not indices:
+        return [list(workload.layers)]
+    groups = [workload.layers_in_bundle(i) for i in indices]
+    stray = [l for l in workload.layers if l.bundle_index < 0]
+    if stray:
+        groups.append(stray)
+    return groups
+
+
 @dataclass(frozen=True)
 class PerformanceEstimate:
     """Latency and resource estimate of a design."""
@@ -123,8 +140,18 @@ class BundlePerformanceModel:
         weight_bytes = sum(l.params for l in layers) * self.accelerator.workload.weight_bits / 8.0
         return input_bytes + output_bytes + weight_bytes
 
-    def latency_ms(self, layers: list[LayerWorkload]) -> PerformanceEstimate:
-        """Eq. 2 latency of one bundle repetition."""
+    def latency_ms(
+        self,
+        layers: list[LayerWorkload],
+        resources: ResourceVector | None = None,
+    ) -> PerformanceEstimate:
+        """Eq. 2 latency of one bundle repetition.
+
+        ``resources`` accepts a precomputed :meth:`resources` vector so
+        callers scoring many layer groups against the same bundle hardware
+        (e.g. :class:`DNNPerformanceModel`) pay for Eq. 1 once, not once per
+        group.
+        """
         coeff = self.coefficients
         cycles = self.compute_latency_cycles(layers)
         compute_ms = cycles / (self.accelerator.clock_mhz * 1e3)
@@ -133,7 +160,7 @@ class BundlePerformanceModel:
         latency = coeff.alpha * compute_ms + coeff.beta * transfer_ms
         return PerformanceEstimate(
             latency_ms=latency,
-            resources=self.resources(),
+            resources=self.resources() if resources is None else resources,
             compute_ms=coeff.alpha * compute_ms,
             data_movement_ms=coeff.beta * transfer_ms,
         )
@@ -190,17 +217,11 @@ class DNNPerformanceModel:
         total_latency = 0.0
         compute_ms = 0.0
         transfer_ms = 0.0
-        indices = workload.bundle_indices()
-        groups: list[list[LayerWorkload]]
-        if indices:
-            groups = [workload.layers_in_bundle(i) for i in indices]
-            stray = [l for l in workload.layers if l.bundle_index < 0]
-            if stray:
-                groups.append(stray)
-        else:
-            groups = [list(workload.layers)]
-        for layers in groups:
-            est = self.bundle_model.latency_ms(layers)
+        # Eq. 1 depends only on the bundle hardware, not on the layer group
+        # being scored — compute it once per estimate, not once per group.
+        bundle_resources = self.bundle_model.resources()
+        for layers in bundle_layer_groups(workload):
+            est = self.bundle_model.latency_ms(layers, resources=bundle_resources)
             total_latency += est.latency_ms
             compute_ms += est.compute_ms
             transfer_ms += est.data_movement_ms
@@ -217,7 +238,7 @@ class DNNPerformanceModel:
         # repetitions, so the DNN resource is the bundle resource plus buffers
         # and control overhead.
         resources = (
-            self.bundle_model.resources()
+            bundle_resources
             + self.accelerator.buffers.as_resource()
             + CONTROL_OVERHEAD.scale(coeff.ctl_gamma)
         )

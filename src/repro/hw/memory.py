@@ -114,6 +114,20 @@ class DRAMTrafficModel:
         setup_s = self.dma_setup_us * 1e-6 * max(bursts, 1)
         return (transfer_s + setup_s) * 1e3
 
+    def transfer_latency_ms_many(
+        self, num_bytes: "list[float]", bursts: "list[int]"
+    ) -> "list[float]":
+        """Bulk :meth:`transfer_latency_ms` over parallel byte/burst lists.
+
+        Element ``i`` is exactly ``transfer_latency_ms(num_bytes[i],
+        bursts[i])`` — the batched estimator relies on bit-identical results.
+        """
+        if len(num_bytes) != len(bursts):
+            raise ValueError("num_bytes and bursts must have the same length")
+        return [
+            self.transfer_latency_ms(n, bursts=b) for n, b in zip(num_bytes, bursts)
+        ]
+
     def bundle_boundary_bytes(
         self, workload: NetworkWorkload, bundle_index: int
     ) -> float:

@@ -68,6 +68,35 @@ class BundleHardware:
         raise KeyError(f"No IP instance in the bundle supports layer {layer.kind} k={layer.kernel}")
 
 
+def build_bundle_hardware(
+    workload: NetworkWorkload,
+    config: IPConfig,
+    library: Optional[IPLibrary] = None,
+) -> BundleHardware:
+    """Instantiate one IP per distinct template the workload needs.
+
+    Shared by :meth:`TileArchAccelerator.build` and the batched estimator
+    (:mod:`repro.hw.batch`), which must agree exactly on the instance order —
+    :meth:`BundleHardware.instance_for` resolves layers to the *first*
+    supporting instance, so the order is semantically load-bearing.
+    """
+    library = library or default_ip_library()
+    instances: list[IPInstance] = []
+    seen: set[str] = set()
+    signature_parts: list[str] = []
+    for layer in workload.layers:
+        template = library.template_for_layer(layer)
+        if template.name in seen:
+            continue
+        seen.add(template.name)
+        instances.append(
+            template.instantiate(config, name=f"{template.name}_p{config.parallel_factor}")
+        )
+        if template.kind in ("conv", "dwconv"):
+            signature_parts.append(template.name)
+    return BundleHardware(instances=instances, signature="+".join(signature_parts))
+
+
 @dataclass
 class TileArchAccelerator:
     """A Tile-Arch accelerator configured for one network workload.
@@ -121,19 +150,7 @@ class TileArchAccelerator:
             workload.feature_bits,
         )
         config = IPConfig(parallel_factor=parallel_factor, quantization=quantization)
-
-        instances: list[IPInstance] = []
-        seen: set[str] = set()
-        signature_parts: list[str] = []
-        for layer in workload.layers:
-            template = library.template_for_layer(layer)
-            if template.name in seen:
-                continue
-            seen.add(template.name)
-            instances.append(template.instantiate(config, name=f"{template.name}_p{parallel_factor}"))
-            if template.kind in ("conv", "dwconv"):
-                signature_parts.append(template.name)
-        bundle_hw = BundleHardware(instances=instances, signature="+".join(signature_parts))
+        bundle_hw = build_bundle_hardware(workload, config, library)
 
         tile = tile or choose_tile_config(workload, device)
         max_kernel = max((l.kernel for l in workload.layers if l.is_compute), default=3)

@@ -130,12 +130,24 @@ class Explorer(ABC):
         self._note(config, estimate, cached)
         return estimate
 
-    def evaluate_batch(self, configs) -> list:
-        """Evaluate a population through the cache and the worker pool."""
+    def score_generation(self, configs) -> list:
+        """Score one generation (a population batch) of configs.
+
+        Unique missing configs are estimated once — through the estimator's
+        vectorized ``estimate_batch`` when it offers one (see
+        :func:`repro.search.cache.resolve_batch_estimator`), or across the
+        worker pool when this explorer runs with ``workers > 1``.  Results
+        are bit-identical to scalar evaluation, and every config is journaled
+        in input order, so session journals do not depend on the path taken.
+        """
         pairs = self.cache.evaluate_batch(configs, parallel=self.parallel, with_info=True)
         for config, (estimate, cached) in zip(configs, pairs):
             self._note(config, estimate, cached)
         return [estimate for estimate, _ in pairs]
+
+    def evaluate_batch(self, configs) -> list:
+        """Alias of :meth:`score_generation` (the historical name)."""
+        return self.score_generation(configs)
 
     def _note(self, config, estimate, cached: bool) -> None:
         self._evaluations += 1

@@ -48,6 +48,25 @@ def config_cache_key(config: "DNNConfig") -> str:
     )
 
 
+def resolve_batch_estimator(
+    estimator: Callable[["DNNConfig"], "PerformanceEstimate"],
+) -> Optional[Callable[[Sequence["DNNConfig"]], list]]:
+    """The batched entry point of an estimator, if it offers one.
+
+    Accepts either a callable object with an ``estimate_batch`` method (e.g.
+    :class:`repro.sweep.disk_cache.DiskEvaluationCache`) or a bound method
+    whose owner has one (e.g. ``auto_hls.estimate`` — the form
+    :class:`repro.core.auto_dnn.AutoDNN` wires up).  Returns ``None`` for
+    plain scalar estimators, in which case callers fall back to a loop.
+    """
+    batch = getattr(estimator, "estimate_batch", None)
+    if callable(batch):
+        return batch
+    owner = getattr(estimator, "__self__", None)
+    batch = getattr(owner, "estimate_batch", None) if owner is not None else None
+    return batch if callable(batch) else None
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Hit / miss accounting of one :class:`EvaluationCache`."""
@@ -170,8 +189,14 @@ class EvaluationCache:
                 reg.counter("search.cache.misses").inc(batch_misses)
         representatives = [configs[index] for index in missing.values()]
         if representatives:
-            if parallel is not None:
+            batch_estimate = resolve_batch_estimator(self.estimator)
+            if parallel is not None and getattr(parallel, "workers", 1) > 1:
                 values = parallel.map(representatives)
+            elif batch_estimate is not None and len(representatives) > 1:
+                # Vectorized path: one call scores the whole generation.
+                # Results are bit-identical to the scalar estimator, so
+                # journals and checkpoints do not depend on which path ran.
+                values = batch_estimate(representatives)
             else:
                 values = [self.estimator(config) for config in representatives]
             with self._lock:
@@ -184,6 +209,43 @@ class EvaluationCache:
         if with_info:
             return list(zip(results, cached_flags))
         return results
+
+    # ------------------------------------------------------------ bulk access
+    def get_many(self, configs: Sequence["DNNConfig"]) -> list:
+        """Look up many configs at once; ``None`` marks the misses.
+
+        A pure read: found entries count as hits, but absent entries do not
+        bump ``misses`` — that counter stays equal to the number of estimator
+        invocations, which this method never performs.
+        """
+        reg = telemetry.registry()
+        results: list = []
+        found = 0
+        with self._lock:
+            for config in configs:
+                value = self._store.get(self.key_fn(config))
+                if value is not None:
+                    self._hits += 1
+                    found += 1
+                results.append(value)
+        if reg is not None:
+            if found:
+                reg.counter("search.cache.hits").inc(found)
+        return results
+
+    def put_many(
+        self, configs: Sequence["DNNConfig"], estimates: Sequence["PerformanceEstimate"]
+    ) -> None:
+        """Insert precomputed estimates (e.g. from a batched estimator).
+
+        Counter-neutral: the estimates were produced outside the cache, so
+        neither hits nor misses move.
+        """
+        if len(configs) != len(estimates):
+            raise ValueError("configs and estimates must have the same length")
+        with self._lock:
+            for config, value in zip(configs, estimates):
+                self._store[self.key_fn(config)] = value
 
     # ------------------------------------------------------------ bookkeeping
     @property

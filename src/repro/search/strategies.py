@@ -106,7 +106,7 @@ class RandomExplorer(MoveBasedExplorer):
             for _ in range(min(self.batch_size, self.budget_left)):
                 base = pool[int(self.rng.integers(0, len(pool)))]
                 batch.append(self.random_walk(base))
-            estimates = self.evaluate_batch(batch)
+            estimates = self.score_generation(batch)
             best: Optional[tuple[DNNConfig, float]] = None
             for config, est in zip(batch, estimates):
                 if self.consider(config, est):
@@ -150,7 +150,7 @@ class EvolutionaryExplorer(MoveBasedExplorer):
         while len(self._candidates) < num_candidates and self.budget_left > 0:
             generations += 1
             population = population[: max(self.budget_left, 1)]
-            estimates = self.evaluate_batch(population)
+            estimates = self.score_generation(population)
             scored = sorted(
                 zip(population, estimates), key=lambda pair: self.energy(pair[1])
             )
@@ -199,7 +199,7 @@ class RegularizedEvolutionExplorer(MoveBasedExplorer):
             self.random_walk(initial, max_moves=2)
             for _ in range(min(self.population_size, max(self.budget_left, 1)) - 1)
         ]
-        estimates = self.evaluate_batch(seeds)
+        estimates = self.score_generation(seeds)
         population: deque[tuple[DNNConfig, float]] = deque(maxlen=self.population_size)
         for config, estimate in zip(seeds, estimates):
             self.consider(config, estimate)

@@ -36,12 +36,12 @@ import re
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import repro.telemetry as telemetry
 from repro.hw.analytical import PerformanceEstimate
 from repro.hw.resource import ResourceVector
-from repro.search.cache import CacheStats, config_cache_key
+from repro.search.cache import CacheStats, config_cache_key, resolve_batch_estimator
 from repro.utils.logging import get_logger
 from repro.utils.serialization import to_jsonable
 
@@ -202,6 +202,30 @@ class DiskEvaluationCache:
         with self.shard_path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
 
+    def _append_many(self, entries: Sequence[tuple[str, PerformanceEstimate]]) -> None:
+        """Append many records with one shard-file open (and one ``ts``).
+
+        Record format and order match a sequence of :meth:`_append` calls, so
+        shards written by the batched path replay identically.
+        """
+        if not entries:
+            return
+        ts = round(self._clock(), 3)
+        lines = [
+            json.dumps(
+                {
+                    "namespace": self.namespace,
+                    "key": key,
+                    "estimate": _estimate_payload(estimate),
+                    "ts": ts,
+                },
+                sort_keys=True,
+            ) + "\n"
+            for key, estimate in entries
+        ]
+        with self.shard_path.open("a", encoding="utf-8") as handle:
+            handle.write("".join(lines))
+
     # ------------------------------------------------------------- evaluation
     def __call__(self, config: "DNNConfig") -> PerformanceEstimate:
         return self.evaluate(config)
@@ -229,6 +253,96 @@ class DiskEvaluationCache:
         if reg is not None:
             reg.counter("sweep.disk_cache.misses").inc()
         return value, False
+
+    def estimate_batch(self, configs: Sequence["DNNConfig"]) -> list[PerformanceEstimate]:
+        """Evaluate a batch: bulk disk lookup, one estimator batch, one append.
+
+        ``misses`` still counts exactly the configs the underlying estimator
+        scored (one per unique missing key — the in-memory layer above
+        already deduplicates, so in the sweep stack this equals the scalar
+        path's count record for record).  The underlying estimator's own
+        ``estimate_batch`` is used when it offers one; results and shard
+        records are bit-identical either way.
+        """
+        keys = [self.key_fn(config) for config in configs]
+        results: list = [None] * len(configs)
+        missing: dict[str, int] = {}
+        batch_hits = 0
+        with self._lock:
+            for index, key in enumerate(keys):
+                value = self._store.get(key)
+                if value is not None:
+                    results[index] = value
+                    self._hits += 1
+                    batch_hits += 1
+                elif key not in missing:
+                    missing[key] = index
+        batch_misses = 0
+        representatives = [configs[index] for index in missing.values()]
+        if representatives:
+            batch_estimate = resolve_batch_estimator(self.estimator)
+            if batch_estimate is not None and len(representatives) > 1:
+                values = batch_estimate(representatives)
+            else:
+                values = [self.estimator(config) for config in representatives]
+            with self._lock:
+                fresh: list[tuple[str, PerformanceEstimate]] = []
+                for key, value in zip(missing, values):
+                    self._misses += 1
+                    batch_misses += 1
+                    if key not in self._store:
+                        self._store[key] = value
+                        fresh.append((key, value))
+                self._append_many(fresh)
+        with self._lock:
+            for index, key in enumerate(keys):
+                if results[index] is None:
+                    results[index] = self._store[key]
+        reg = telemetry.registry()
+        if reg is not None:
+            if batch_hits:
+                reg.counter("sweep.disk_cache.hits").inc(batch_hits)
+            if batch_misses:
+                reg.counter("sweep.disk_cache.misses").inc(batch_misses)
+        return results
+
+    # ------------------------------------------------------------- bulk access
+    def get_many(self, configs: Sequence["DNNConfig"]) -> list:
+        """Bulk lookup; ``None`` marks configs absent from the disk store.
+
+        A pure read: found entries count as hits, absent ones leave
+        ``misses`` untouched (that counter is reserved for real estimator
+        invocations).
+        """
+        reg = telemetry.registry()
+        results: list = []
+        found = 0
+        with self._lock:
+            for config in configs:
+                value = self._store.get(self.key_fn(config))
+                if value is not None:
+                    self._hits += 1
+                    found += 1
+                results.append(value)
+        if reg is not None:
+            if found:
+                reg.counter("sweep.disk_cache.hits").inc(found)
+        return results
+
+    def put_many(
+        self, configs: Sequence["DNNConfig"], estimates: Sequence[PerformanceEstimate]
+    ) -> None:
+        """Persist precomputed estimates; counter-neutral, one shard append."""
+        if len(configs) != len(estimates):
+            raise ValueError("configs and estimates must have the same length")
+        with self._lock:
+            fresh: list[tuple[str, PerformanceEstimate]] = []
+            for config, value in zip(configs, estimates):
+                key = self.key_fn(config)
+                if key not in self._store:
+                    self._store[key] = value
+                    fresh.append((key, value))
+            self._append_many(fresh)
 
     # ------------------------------------------------------------ bookkeeping
     @property

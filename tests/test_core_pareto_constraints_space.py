@@ -57,6 +57,46 @@ class TestParetoFront:
         assert calls["cost"] == len(points)
         assert calls["value"] == len(points)
 
+    # Coordinates drawn from a small pool plus a continuous range, so ties
+    # and exact duplicates occur constantly instead of almost never.
+    _coord = st.one_of(st.sampled_from([0.0, 1.0, 1.5, 2.0, 3.0]), st.floats(0, 10))
+
+    @staticmethod
+    def _brute_force_front(points):
+        """Reference O(n^2) dominance scan (the pre-optimization semantics)."""
+
+        def dominated(i):
+            ci, vi = points[i][0], points[i][1]
+            for j, q in enumerate(points):
+                cj, vj = q[0], q[1]
+                if j != i and cj <= ci and vj >= vi and (cj < ci or vj > vi):
+                    return True
+            return False
+
+        front = [p for i, p in enumerate(points) if not dominated(i)]
+        front.sort(key=lambda p: p[0])
+        return front
+
+    @given(st.lists(st.tuples(_coord, _coord), max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_bruteforce_reference(self, raw):
+        # Tag each point with its index so list equality also pins the exact
+        # ordering of equal-cost survivors (stable, input order).
+        points = [(c, v, i) for i, (c, v) in enumerate(raw)]
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == self._brute_force_front(points)
+
+    def test_equal_cost_group_keeps_all_best_value_duplicates(self):
+        points = [(1.0, 5.0, "a"), (1.0, 5.0, "b"), (1.0, 4.0, "c")]
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == [(1.0, 5.0, "a"), (1.0, 5.0, "b")]
+
+    def test_equal_value_at_higher_cost_is_dominated(self):
+        # (2, 5) loses to (1, 5): cost strictly worse, value merely equal.
+        points = [(1.0, 5.0), (2.0, 5.0)]
+        front = pareto_front(points, cost=lambda p: p[0], value=lambda p: p[1])
+        assert front == [(1.0, 5.0)]
+
     @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=40))
     @settings(max_examples=60, deadline=None)
     def test_front_members_not_dominated(self, points):
@@ -94,6 +134,29 @@ class TestGroupBy:
     def test_invalid_num_groups(self):
         with pytest.raises(ValueError):
             group_by([1], key=float, num_groups=0)
+
+    def test_max_key_lands_in_last_group(self):
+        # The maximum key sits exactly on the upper bin edge; the index clamp
+        # must fold it into group num_groups - 1, never a phantom extra bin.
+        groups = group_by([0.0, 5.0, 10.0], key=float, num_groups=2)
+        assert set(groups) == {0, 1}
+        assert groups[1] == [5.0, 10.0]
+
+    @given(
+        st.lists(st.floats(-50, 50), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, keys, num_groups):
+        groups = group_by(keys, key=float, num_groups=num_groups)
+        # A partition: every item lands in exactly one valid bin, and bins
+        # respect the key order (items of bin i never exceed bin i+1's).
+        assert sorted(x for members in groups.values() for x in members) == sorted(keys)
+        assert all(0 <= index < num_groups for index in groups)
+        for index, members in groups.items():
+            for other, other_members in groups.items():
+                if index < other:
+                    assert max(members) <= min(other_members)
 
 
 class TestLatencyTarget:

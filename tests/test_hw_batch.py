@@ -1,0 +1,254 @@
+"""Golden-equivalence suite for the vectorized batch estimator.
+
+The contract of :mod:`repro.hw.batch` is bit-exactness: for every config,
+``BatchedDNNEstimator.estimate_batch`` must reproduce the scalar
+``DNNPerformanceModel`` estimate to *full float precision* — not within a
+tolerance.  Journals, checkpoints and Pareto selections are byte-identical
+between the two paths only because of this property, so every comparison in
+this file uses ``==`` on raw floats, never ``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.telemetry as telemetry
+from repro.core.bundle_generation import get_bundle
+from repro.core.dnn_config import DNNConfig
+from repro.detection.task import DAC_SDC_TASK, TINY_DETECTION_TASK
+from repro.hw.analytical import (
+    AnalyticalModelCoefficients,
+    DEFAULT_COEFFICIENTS,
+    DNNPerformanceModel,
+    PerformanceEstimate,
+)
+from repro.hw.batch import BatchedDNNEstimator, estimate_batch
+from repro.hw.device import PYNQ_Z1, ULTRA96
+from repro.hw.tile_arch import TileArchAccelerator
+
+# A refit-style coefficient set: every knob off its default, so coefficient
+# mix-ups between the paths cannot cancel out.
+REFIT = AnalyticalModelCoefficients(
+    alpha=1.17, beta=0.93, phi=1.41, ctl_gamma=0.8,
+    gamma_lut=311.0, gamma_ff=207.0, gamma_bram=1.5,
+)
+
+
+def scalar_estimate(config, device, coefficients, clock_mhz) -> PerformanceEstimate:
+    """The reference scalar path, exactly as AutoHLS.estimate runs it."""
+    accelerator = TileArchAccelerator.build(
+        config.to_workload(), device,
+        parallel_factor=config.parallel_factor, clock_mhz=clock_mhz,
+    )
+    return DNNPerformanceModel(accelerator, coefficients).estimate()
+
+
+def assert_bit_identical(batched: PerformanceEstimate, scalar: PerformanceEstimate):
+    assert batched.latency_ms == scalar.latency_ms
+    assert batched.compute_ms == scalar.compute_ms
+    assert batched.data_movement_ms == scalar.data_movement_ms
+    assert batched.resources.lut == scalar.resources.lut
+    assert batched.resources.ff == scalar.resources.ff
+    assert batched.resources.dsp == scalar.resources.dsp
+    assert batched.resources.bram == scalar.resources.bram
+
+
+def config_grid(task) -> list[DNNConfig]:
+    """A deliberately heterogeneous batch: several bundles, replication
+    counts, elastic Pi / X vectors, activations, bit widths and parallel
+    factors, all mixed into one call."""
+    configs = []
+    cases = [
+        # (bundle_id, reps, expansion, downsample, activation, wb, stem)
+        (13, 2, (1.5, 1.5), (1, 1), "relu4", 8, 16),
+        (13, 3, (1.2, 1.8, 1.4), (1, 0, 1), "relu", 8, 24),
+        (1, 1, (2.0,), (1,), "relu8", 8, 16),
+        (5, 2, (1.0, 2.0), (0, 1), "relu4", 16, 32),
+        (9, 3, (1.5, 1.3, 1.1), (1, 1, 0), "relu8", 8, 48),
+        (17, 2, (1.7, 1.6), (1, 1), "relu", 16, 16),
+    ]
+    for bundle_id, reps, expansion, downsample, activation, wb, stem in cases:
+        for pf in (3, 4, 8, 16):
+            configs.append(DNNConfig(
+                bundle=get_bundle(bundle_id),
+                task=task,
+                num_repetitions=reps,
+                channel_expansion=expansion,
+                downsample=downsample,
+                stem_channels=stem,
+                activation=activation,
+                weight_bits=wb,
+                parallel_factor=pf,
+                max_channels=64 if task is TINY_DETECTION_TASK else 512,
+            ))
+    return configs
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("device,clock_mhz", [
+        (PYNQ_Z1, None),          # device default clock
+        (PYNQ_Z1, 142.5),         # non-default clock
+        (ULTRA96, None),
+        (ULTRA96, 201.25),
+    ])
+    @pytest.mark.parametrize("coefficients", [DEFAULT_COEFFICIENTS, REFIT])
+    def test_batch_matches_scalar_exactly(self, device, clock_mhz, coefficients):
+        configs = config_grid(TINY_DETECTION_TASK)
+        estimator = BatchedDNNEstimator(device)
+        batched = estimator.estimate_batch(
+            configs, coefficients=coefficients, clock_mhz=clock_mhz
+        )
+        clock = clock_mhz or device.default_clock_mhz
+        assert len(batched) == len(configs)
+        for config, estimate in zip(configs, batched):
+            assert_bit_identical(
+                estimate, scalar_estimate(config, device, coefficients, clock)
+            )
+
+    def test_full_resolution_task(self, device):
+        # The DAC-SDC input resolution exercises different tile choices.
+        configs = config_grid(DAC_SDC_TASK)[:8]
+        batched = BatchedDNNEstimator(device).estimate_batch(configs)
+        for config, estimate in zip(configs, batched):
+            assert_bit_identical(
+                estimate,
+                scalar_estimate(
+                    config, device, DEFAULT_COEFFICIENTS, device.default_clock_mhz
+                ),
+            )
+
+    def test_empty_batch(self, device):
+        assert BatchedDNNEstimator(device).estimate_batch([]) == []
+
+    def test_single_config_batch(self, tiny_config, device):
+        [estimate] = BatchedDNNEstimator(device).estimate_batch([tiny_config])
+        assert_bit_identical(
+            estimate,
+            scalar_estimate(
+                tiny_config, device, DEFAULT_COEFFICIENTS, device.default_clock_mhz
+            ),
+        )
+
+    def test_statics_cache_survives_coefficient_refit(self, tiny_config, device):
+        # One estimator instance, two coefficient fits and two clocks: the
+        # cached group statics must not leak anything coefficient- or
+        # clock-dependent between calls.
+        estimator = BatchedDNNEstimator(device)
+        estimator.estimate_batch([tiny_config])  # warm the caches
+        for coefficients, clock in [(REFIT, 87.5), (DEFAULT_COEFFICIENTS, None)]:
+            resolved = clock or device.default_clock_mhz
+            [estimate] = estimator.estimate_batch(
+                [tiny_config], coefficients=coefficients, clock_mhz=clock
+            )
+            assert_bit_identical(
+                estimate, scalar_estimate(tiny_config, device, coefficients, resolved)
+            )
+
+    def test_duplicate_configs_share_one_group(self, tiny_config, device):
+        estimator = BatchedDNNEstimator(device)
+        results = estimator.estimate_batch([tiny_config, tiny_config, tiny_config])
+        assert results[0] == results[1] == results[2]
+        assert len(estimator._groups) == 1
+
+    def test_module_level_convenience(self, tiny_config, device):
+        [estimate] = estimate_batch([tiny_config], device, clock_mhz=120.0)
+        assert_bit_identical(
+            estimate, scalar_estimate(tiny_config, device, DEFAULT_COEFFICIENTS, 120.0)
+        )
+
+    @given(
+        bundle_id=st.sampled_from([1, 4, 8, 13, 18]),
+        reps=st.integers(min_value=1, max_value=4),
+        expansion=st.sampled_from([1.0, 1.2, 1.5, 1.7, 2.0]),
+        downsample_bit=st.integers(min_value=0, max_value=1),
+        stem=st.sampled_from([16, 32, 48]),
+        activation=st.sampled_from(["relu", "relu4", "relu8"]),
+        weight_bits=st.sampled_from([8, 16]),
+        pf=st.sampled_from([1, 2, 3, 5, 8, 16, 32]),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_config_property(
+        self, bundle_id, reps, expansion, downsample_bit, stem, activation,
+        weight_bits, pf,
+    ):
+        config = DNNConfig(
+            bundle=get_bundle(bundle_id),
+            task=TINY_DETECTION_TASK,
+            num_repetitions=reps,
+            channel_expansion=(expansion,) * reps,
+            downsample=(downsample_bit,) * reps,
+            stem_channels=stem,
+            activation=activation,
+            weight_bits=weight_bits,
+            parallel_factor=pf,
+            max_channels=64,
+        )
+        [estimate] = BatchedDNNEstimator(PYNQ_Z1).estimate_batch([config])
+        assert_bit_identical(
+            estimate,
+            scalar_estimate(
+                config, PYNQ_Z1, DEFAULT_COEFFICIENTS, PYNQ_Z1.default_clock_mhz
+            ),
+        )
+
+
+class TestEstimatorInternals:
+    def test_workload_for_is_cached(self, tiny_config, device):
+        estimator = BatchedDNNEstimator(device)
+        workload = estimator.workload_for(tiny_config)
+        assert workload is estimator.workload_for(tiny_config)
+        reference = tiny_config.to_workload()
+        assert workload.total_macs == reference.total_macs
+        assert len(workload.layers) == len(reference.layers)
+
+    def test_group_key_ignores_parallel_factor_and_name(self, bundle13, tiny_task, device):
+        base = dict(
+            bundle=bundle13, task=tiny_task, num_repetitions=2,
+            channel_expansion=(1.5, 1.5), downsample=(1, 1),
+            stem_channels=16, max_channels=64,
+        )
+        estimator = BatchedDNNEstimator(device)
+        estimator.estimate_batch([
+            DNNConfig(parallel_factor=4, name="a", **base),
+            DNNConfig(parallel_factor=16, name="b", **base),
+        ])
+        assert len(estimator._groups) == 1
+
+    def test_telemetry_counters(self, tiny_config, device):
+        telemetry.disable()
+        reg = telemetry.enable()
+        try:
+            BatchedDNNEstimator(device).estimate_batch([tiny_config, tiny_config])
+            assert reg.counter("hw.estimate.count").value == 2
+            assert reg.counter("hw.estimate.batch.calls").value == 1
+        finally:
+            telemetry.disable()
+
+
+class TestResourcesHoistRegression:
+    def test_bundle_resources_computed_once_per_estimate(self, tiny_config, device, monkeypatch):
+        # Eq. 1 does not depend on the layer group being scored, so one
+        # estimate() must evaluate BundlePerformanceModel.resources exactly
+        # once — not once per bundle group (the pre-fix behaviour).
+        from repro.hw.analytical import BundlePerformanceModel, bundle_layer_groups
+
+        calls = {"resources": 0}
+        original = BundlePerformanceModel.resources
+
+        def counting(self):
+            calls["resources"] += 1
+            return original(self)
+
+        monkeypatch.setattr(BundlePerformanceModel, "resources", counting)
+        accelerator = TileArchAccelerator.build(
+            tiny_config.to_workload(), device,
+            parallel_factor=tiny_config.parallel_factor,
+        )
+        model = DNNPerformanceModel(accelerator)
+        num_groups = len(bundle_layer_groups(accelerator.workload))
+        assert num_groups >= 2, "test needs a multi-group workload to be meaningful"
+        model.estimate()
+        assert calls["resources"] == 1
