@@ -1,7 +1,7 @@
 """``pickle-boundary``: boundary-crossing classes stay picklable.
 
 Sweep cells run in spawned worker processes (PR 3), shard workers receive
-``PreparedDevice`` artifacts over HTTP (PR 5), and worker metrics travel
+``PreparedTarget`` artifacts over HTTP (PR 5), and worker metrics travel
 back as ``MetricsSnapshot`` payloads (PR 6).  Every one of those objects
 crosses a process or wire boundary, so holding a ``threading.Lock``, an
 open file, a socket or an executor in an instance attribute turns the
@@ -10,9 +10,13 @@ worker, far from the constructor that planted it.
 
 A class is treated as boundary-crossing when it
 
-* is one of the repo's known payload classes (``PreparedDevice``,
-  ``SweepTask``, ``SweepOutcome``, ``SweepFailure``, ``MetricsSnapshot``), or
-* defines ``to_wire`` / ``from_wire`` (the PR 5 wire-marshalling marker).
+* is one of the repo's known payload classes (``PreparedTarget`` — or its
+  legacy alias ``PreparedDevice`` — ``SweepTask``, ``SweepOutcome``,
+  ``SweepFailure``, ``MetricsSnapshot``),
+* subclasses one of them by name (a backend-specific ``PreparedTarget``
+  variant is a payload wherever its base is), or
+* defines ``to_wire`` / ``from_wire`` (the PR 5 wire-marshalling marker
+  every ``PreparedTarget`` implementation carries).
 
 Classes that define ``__getstate__`` or ``__reduce__`` opted into custom
 pickling and are exempt — they already decided what crosses.
@@ -33,8 +37,8 @@ from repro.analysis.core import (
 
 #: Classes that cross process/wire boundaries by design (worker payloads).
 BOUNDARY_CLASS_NAMES = frozenset({
-    "PreparedDevice", "SweepTask", "SweepOutcome", "SweepFailure",
-    "MetricsSnapshot",
+    "PreparedTarget", "PreparedDevice", "SweepTask", "SweepOutcome",
+    "SweepFailure", "MetricsSnapshot",
 })
 
 #: Methods whose presence marks a class as wire-crossing.
@@ -85,7 +89,7 @@ class PickleBoundaryChecker(Checker):
         "unpicklable attribute in __init__"
     )
     contract = (
-        "PR 3/5/6: PreparedDevice, SweepTask, outcomes and metrics "
+        "PR 3/5/6: PreparedTarget, SweepTask, outcomes and metrics "
         "snapshots cross process pools and the shard HTTP wire; they must "
         "never hold locks, files, sockets or executors"
     )
@@ -100,7 +104,14 @@ class PickleBoundaryChecker(Checker):
                 stmt.name for stmt in node.body
                 if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
             }
+            # Subclasses of a known payload class are payloads too: the
+            # base's to_wire/from_wire may live out of this module's AST.
+            base_names = {
+                (dotted_name(base) or "").rsplit(".", 1)[-1]
+                for base in node.bases
+            }
             boundary = node.name in BOUNDARY_CLASS_NAMES \
+                or bool(base_names & BOUNDARY_CLASS_NAMES) \
                 or bool(methods & _WIRE_MARKERS)
             if not boundary or methods & _PICKLE_OPT_OUT:
                 continue
@@ -111,7 +122,7 @@ class PickleBoundaryChecker(Checker):
                      cls: ast.ClassDef) -> list[Finding]:
         findings: list[Finding] = []
         why = (f"{cls.name} crosses a process/wire boundary "
-               "(worker payload or to_wire/from_wire class)")
+               "(worker payload, payload subclass or to_wire/from_wire class)")
         # Dataclass-style field defaults in the class body.
         for stmt in cls.body:
             value = None

@@ -1,0 +1,87 @@
+"""The FPGA backend: the paper's original target, behind the protocol.
+
+Wraps the pre-backend plumbing — :func:`repro.hw.device.get_device` name
+resolution, :class:`repro.core.auto_hls.AutoHLS` estimation,
+:class:`repro.core.bundle_evaluation.BundleEvaluator` step-2 selection and
+:class:`repro.hw.power.FPGAPowerModel` — without changing any of it, so an
+FPGA-only sweep through the backend seam is byte-identical to one before it
+(canonical device strings are the legacy display names, e.g. ``PYNQ-Z1``).
+
+``repro.core`` / ``repro.sweep`` are imported lazily inside methods: both
+packages import :mod:`repro.backend` at module level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.base import Backend, backend_catalog
+from repro.hw.device import FPGADevice, get_device, list_devices, resolve_devices
+
+
+class FPGABackend(Backend):
+    """Target resolution, estimation and prep for the FPGA devices."""
+
+    name = "fpga"
+    requires_fit = True
+
+    # ------------------------------------------------------------ resolution
+    def device_names(self) -> list[str]:
+        return list_devices()
+
+    def resolve_device(self, name: str) -> FPGADevice:
+        try:
+            return get_device(name)
+        except KeyError:
+            raise ValueError(
+                f"Unknown fpga device '{name}'. {backend_catalog()}"
+            ) from None
+
+    def canonical_name(self, device: FPGADevice) -> str:
+        # The legacy display name: SweepTask.device, uids, journal metadata,
+        # and disk-cache namespaces all predate the backend seam and must
+        # not change under it.
+        return device.name
+
+    def resolve_spec(self, name: str) -> list[FPGADevice]:
+        try:
+            return resolve_devices(name)
+        except KeyError:
+            raise ValueError(
+                f"Unknown fpga device '{name}'. {backend_catalog()}"
+            ) from None
+
+    # ----------------------------------------------------------- clock/budget
+    def default_clock_mhz(self, device: FPGADevice) -> float:
+        return device.default_clock_mhz
+
+    def validate_clock(self, device: FPGADevice, clock_mhz: float) -> float:
+        return device.validate_clock(clock_mhz)
+
+    def resource_constraint(self, device: FPGADevice, utilization_limit: float = 1.0):
+        from repro.core.constraints import ResourceConstraint
+
+        return ResourceConstraint.for_device(device, utilization_limit)
+
+    # ------------------------------------------------------------- estimation
+    def create_engine(self, device: FPGADevice, clock_mhz: Optional[float] = None):
+        from repro.core.auto_hls import AutoHLS
+
+        return AutoHLS(device, clock_mhz=clock_mhz)
+
+    def engine_fingerprint(self, engine) -> str:
+        from repro.sweep.disk_cache import coefficients_fingerprint
+
+        return coefficients_fingerprint(engine.coefficients)
+
+    # ------------------------------------------------------------ preparation
+    def create_bundle_evaluator(self, task, device: FPGADevice, accuracy_model):
+        from repro.core.bundle_evaluation import BundleEvaluator
+
+        return BundleEvaluator(task=task, device=device, accuracy_model=accuracy_model)
+
+    # ------------------------------------------------------------------ power
+    def power_model(self, device: FPGADevice):
+        from repro.hw.power import FPGAPowerModel
+
+        return FPGAPowerModel(device)

@@ -57,6 +57,7 @@ import argparse
 import sys
 
 import repro.telemetry as telemetry
+from repro.backend import resolve_targets
 from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
 from repro.core.auto_hls import AutoHLS
 from repro.detection.task import DAC_SDC_TASK
@@ -125,10 +126,28 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2019, help="search seed")
 
 
+def _target_spec(text: str) -> str:
+    """Validate a ``--devices`` target-spec list at the parser.
+
+    Each comma-separated token is ``[backend:]name`` (bare names are FPGA
+    devices, ``all`` expands to a backend's whole catalogue).  Unknown
+    backend prefixes and unknown per-backend device names die as usage
+    errors listing the registered backends and their devices, before any
+    worker process spawns.
+    """
+    try:
+        resolve_targets(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def _add_grid_args(parser: argparse.ArgumentParser) -> None:
     """Sweep-grid axes shared by ``sweep`` and ``shard coordinator``."""
-    parser.add_argument("--devices", default="pynq-z1",
-                        help=f"comma-separated device names ('all' = {', '.join(list_devices())})")
+    parser.add_argument("--devices", default="pynq-z1", type=_target_spec,
+                        help="comma-separated target specs '[backend:]name', e.g. "
+                             "'fpga:pynq-z1,gpu:jetson-tx2'; bare names are FPGA "
+                             f"devices ('all' = {', '.join(list_devices())})")
     parser.add_argument("--strategies", default="scd",
                         help=f"comma-separated strategies ({', '.join(available_strategies())})")
     parser.add_argument("--clocks", type=_positive_float, nargs="+", default=None,

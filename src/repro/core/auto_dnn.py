@@ -243,7 +243,14 @@ class AutoDNN:
 
     # ---------------------------------------------------------------- update
     def refine_with_hls(self, candidates: Sequence[DNNCandidate]) -> list[DNNCandidate]:
-        """Run Auto-HLS on every candidate to attach precise hardware results."""
+        """Run Auto-HLS on every candidate to attach precise hardware results.
+
+        Estimation engines without a ``generate`` step (e.g. the GPU roofline
+        engine — there is no HLS artifact to emit) pass candidates through
+        unchanged.
+        """
+        if getattr(self.auto_hls, "generate", None) is None:
+            return list(candidates)
         refined: list[DNNCandidate] = []
         for candidate in candidates:
             hls = self.auto_hls.generate(candidate.config)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.backend import Backend, infer_backend
 from repro.core.auto_dnn import AutoDNN, DNNCandidate
 from repro.core.auto_hls import AutoHLS
 from repro.core.bundle import Bundle
@@ -99,7 +100,16 @@ class CoDesignResult:
 
 
 class CoDesignFlow:
-    """End-to-end automatic FPGA/DNN co-design."""
+    """End-to-end automatic hardware/DNN co-design.
+
+    The hardware substrate is pluggable: ``backend`` (a
+    :class:`repro.backend.Backend`) supplies target resolution, the
+    estimation engine, the resource budget and the step-1/2 preparation
+    shape.  When omitted it is inferred from ``inputs.device`` — an
+    :class:`~repro.hw.device.FPGADevice` selects the FPGA backend (the
+    paper's flow, unchanged), a :class:`~repro.gpu.device.GPUDevice` the
+    fit-free GPU roofline backend.
+    """
 
     def __init__(
         self,
@@ -113,8 +123,10 @@ class CoDesignFlow:
         search_workers: int = 1,
         evaluation_cache: Optional[EvaluationCache] = None,
         clock_mhz: Optional[float] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self.inputs = inputs
+        self.backend = backend if backend is not None else infer_backend(inputs.device)
         self.accuracy_model = accuracy_model or SurrogateAccuracyModel()
         self.candidates_per_bundle = candidates_per_bundle
         self.top_n_bundles = top_n_bundles
@@ -123,21 +135,22 @@ class CoDesignFlow:
         self.search_strategy = search_strategy
         self.search_workers = search_workers
         if clock_mhz is not None:
-            clock_mhz = inputs.device.validate_clock(clock_mhz)
-        self.clock_mhz = clock_mhz or inputs.device.default_clock_mhz
+            clock_mhz = self.backend.validate_clock(inputs.device, clock_mhz)
+        self.clock_mhz = clock_mhz or self.backend.default_clock_mhz(inputs.device)
+        self.resource_constraint = self.backend.resource_constraint(
+            inputs.device, inputs.utilization_limit
+        )
 
-        self.auto_hls = AutoHLS(inputs.device, clock_mhz=self.clock_mhz)
-        self.evaluator = BundleEvaluator(
-            task=inputs.task,
-            device=inputs.device,
-            accuracy_model=self.accuracy_model,
+        self.auto_hls = self.backend.create_engine(inputs.device, clock_mhz=self.clock_mhz)
+        self.evaluator = self.backend.create_bundle_evaluator(
+            inputs.task, inputs.device, self.accuracy_model
         )
         self.auto_dnn = AutoDNN(
             task=inputs.task,
             device=inputs.device,
             auto_hls=self.auto_hls,
             accuracy_model=self.accuracy_model,
-            resource_constraint=inputs.resource_constraint,
+            resource_constraint=self.resource_constraint,
             candidates_per_bundle=candidates_per_bundle,
             rng=rng,
             strategy=search_strategy,
@@ -160,8 +173,16 @@ class CoDesignFlow:
         self.auto_dnn.close()
 
     # ------------------------------------------------------------------ steps
-    def step1_modeling(self, sample_bundle_ids: Sequence[int] = (1, 7, 13)) -> SamplingResult:
-        """Co-Design Step 1: fit the analytical models via Auto-HLS sampling."""
+    def step1_modeling(
+        self, sample_bundle_ids: Sequence[int] = (1, 7, 13)
+    ) -> Optional[SamplingResult]:
+        """Co-Design Step 1: fit the analytical models via Auto-HLS sampling.
+
+        Fit-free backends (the GPU roofline) have nothing to fit; the step
+        is a no-op returning ``None`` so ``run()`` stays backend-agnostic.
+        """
+        if not self.backend.requires_fit:
+            return None
         samples = []
         for bundle in self.inputs.bundles:
             if bundle.bundle_id in sample_bundle_ids:
@@ -178,7 +199,17 @@ class CoDesignFlow:
     def step2_bundle_selection(
         self, parallel_factors: Sequence[int] = (4, 8, 16)
     ) -> tuple[list[BundleEvaluation], list[FineGrainedEvaluation], list[Bundle]]:
-        """Co-Design Step 2: coarse / fine bundle evaluation and selection."""
+        """Co-Design Step 2: coarse / fine bundle evaluation and selection.
+
+        Backends without a bundle evaluator (``evaluator is None``) select
+        deterministically via :meth:`repro.backend.Backend.select_bundles`
+        and report no coarse/fine evaluations.
+        """
+        if self.evaluator is None:
+            selected = self.backend.select_bundles(
+                self.inputs.bundles, self.top_n_bundles
+            )
+            return [], [], list(selected)
         coarse = self.evaluator.coarse_evaluate(
             self.inputs.bundles, parallel_factors=parallel_factors, method=1
         )

@@ -164,6 +164,15 @@ class SCDUnit:
         (the current config is re-estimated on every loop iteration, so
         caching is a direct hot-path win); an existing cache instance is
         shared as-is; ``False`` disables memoization entirely.
+    batch_scorer:
+        Optional callable scoring a whole sequence of configs at once
+        (``configs -> [PerformanceEstimate, ...]`` in input order).  The
+        per-iteration unit-move probes — one candidate per coordinate — are
+        routed through it so a vectorized estimator scores them in one
+        call.  The Explorer adapter passes its journaling
+        ``score_generation`` here; results must be bit-identical to the
+        scalar ``estimator`` path (see
+        :func:`repro.search.cache.resolve_batch_estimator`).
     """
 
     def __init__(
@@ -175,6 +184,7 @@ class SCDUnit:
         max_iterations: int = 400,
         rng: RNGLike = None,
         cache: Union[EvaluationCache, bool, None] = None,
+        batch_scorer: Optional[Callable[[Sequence[DNNConfig]], Sequence[PerformanceEstimate]]] = None,
     ) -> None:
         if max_repetitions <= 0 or max_iterations <= 0:
             raise ValueError("max_repetitions and max_iterations must be positive")
@@ -190,6 +200,7 @@ class SCDUnit:
             self.cache = EvaluationCache(estimator)
         else:
             self.cache = cache
+        self.batch_scorer = batch_scorer
 
     # ------------------------------------------------------------- moves
     def _move_n(self, config: DNNConfig, direction: int, steps: int = 1) -> Optional[DNNConfig]:
@@ -206,6 +217,21 @@ class SCDUnit:
         if self.cache is not None:
             return self.cache.evaluate(config)
         return self.estimator(config)
+
+    def _score_units(self, configs: Sequence[DNNConfig]) -> list[PerformanceEstimate]:
+        """Score one iteration's unit-move probes, batched when possible.
+
+        Delegates to ``batch_scorer`` when one was provided, else to the
+        shared cache's vectorized ``evaluate_batch``; both contracts
+        guarantee bit-identical results to the scalar path, which remains
+        the fallback (and the single-probe fast path).
+        """
+        if len(configs) > 1:
+            if self.batch_scorer is not None:
+                return list(self.batch_scorer(configs))
+            if self.cache is not None:
+                return list(self.cache.evaluate_batch(configs))
+        return [self._latency(config) for config in configs]
 
     def _direction_towards_target(self, latency_gap_ms: float) -> int:
         """+1 grows the network (raises latency), -1 shrinks it."""
@@ -255,14 +281,20 @@ class SCDUnit:
 
             direction = self._direction_towards_target(gap)
 
-            # Estimate the latency change of a unit move along each coordinate.
-            deltas: dict[str, tuple[DNNConfig, float]] = {}
+            # Estimate the latency change of a unit move along each
+            # coordinate.  The probes are scored as one batch (vectorized
+            # estimators see all coordinates at once) in moves order, so the
+            # evaluation journal matches the historical scalar loop exactly.
+            units: list[tuple[str, DNNConfig]] = []
             for name, move in moves.items():
                 unit = move(current, direction, steps=1)
-                if unit is None:
-                    continue
-                unit_latency = self._latency(unit).latency_ms
-                delta = unit_latency - lat
+                if unit is not None:
+                    units.append((name, unit))
+            deltas: dict[str, tuple[DNNConfig, float]] = {}
+            for (name, unit), unit_estimate in zip(
+                units, self._score_units([unit for _, unit in units])
+            ):
+                delta = unit_estimate.latency_ms - lat
                 if abs(delta) > 1e-9:
                     deltas[name] = (unit, delta)
             if not deltas:

@@ -6,8 +6,24 @@ latency model and a power model for such a device so the GPU comparison rows
 can be re-derived instead of only quoted.
 """
 
-from repro.gpu.device import GPUDevice, JETSON_TX2
+from repro.gpu.device import (
+    GPUDevice,
+    JETSON_TX2,
+    get_gpu_device,
+    gpu_device_slug,
+    list_gpu_devices,
+)
+from repro.gpu.estimator import GPURooflineEngine
 from repro.gpu.latency import GPULatencyModel
 from repro.gpu.power import GPUPowerModel
 
-__all__ = ["GPUDevice", "JETSON_TX2", "GPULatencyModel", "GPUPowerModel"]
+__all__ = [
+    "GPUDevice",
+    "GPULatencyModel",
+    "GPUPowerModel",
+    "GPURooflineEngine",
+    "JETSON_TX2",
+    "get_gpu_device",
+    "gpu_device_slug",
+    "list_gpu_devices",
+]

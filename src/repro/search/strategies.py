@@ -59,7 +59,10 @@ class SCDExplorer(Explorer):
 
     The wrapped :class:`SCDUnit` receives :meth:`Explorer.evaluate` as its
     estimator (so every request is memoized and journaled) and runs with its
-    own internal cache disabled to avoid double caching.
+    own internal cache disabled to avoid double caching.  The per-iteration
+    unit-move probes go through :meth:`Explorer.score_generation`, so
+    vectorized estimators (``estimate_batch``) score all coordinates in one
+    call — journaled in input order, bit-identical to the scalar path.
     """
 
     def _explore(self, initial: DNNConfig, num_candidates: int) -> int:
@@ -71,6 +74,7 @@ class SCDExplorer(Explorer):
             max_iterations=self.max_iterations,
             rng=self.rng,
             cache=False,
+            batch_scorer=self.score_generation,
         )
         result = unit.search(initial, num_candidates=num_candidates)
         for config, estimate in zip(result.candidates, result.estimates):

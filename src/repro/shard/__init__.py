@@ -3,7 +3,7 @@
 ``repro.shard`` scales the sweep grid past one machine with nothing but
 the standard library: a coordinator (``http.server``) owns the grid and
 leases cells to workers (``urllib``), ships each worker the serialized
-per-device :class:`~repro.sweep.runner.PreparedDevice` for its cells,
+per-device :class:`~repro.sweep.runner.PreparedTarget` for its cells,
 and streams every settled :class:`~repro.sweep.runner.SweepOutcome` /
 ``SweepFailure`` into the exact same fsynced ``_checkpoint.jsonl`` a
 local sweep writes — so ``--resume``, :meth:`SweepResult.load`,

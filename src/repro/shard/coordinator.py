@@ -52,7 +52,7 @@ from repro.shard.protocol import (
     task_to_wire,
 )
 import repro.telemetry as telemetry
-from repro.sweep.runner import PreparedDevice, SweepFailure, SweepOutcome, SweepTask
+from repro.sweep.runner import PreparedTarget, SweepFailure, SweepOutcome, SweepTask
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -498,7 +498,7 @@ class ShardCoordinator:
     def __init__(
         self,
         board: LeaseBoard,
-        prepared: Mapping[str, PreparedDevice],
+        prepared: Mapping[str, PreparedTarget],
         prep_keys: Mapping[int, Optional[str]],
         *,
         host: str = "127.0.0.1",

@@ -7,7 +7,7 @@ deployment needs a Python interpreter and a routable TCP port, nothing
 else.  Every message body is a JSON object; every payload that crosses
 the wire is made of the same JSON views the sweep subsystem already
 persists (``SweepTask.from_dict``, ``SweepOutcome.from_dict``,
-``SweepFailure.from_dict``, ``PreparedDevice.to_wire``), so the
+``SweepFailure.from_dict``, ``PreparedTarget.to_wire``), so the
 distributed tier introduces **no second serialization format**: what a
 worker streams back is exactly what the coordinator appends to
 ``_checkpoint.jsonl``, and ``--resume`` / ``SweepResult.load`` /
@@ -24,10 +24,10 @@ unless noted):
 ``/v1/lease``
     ``{"worker_id", "slots", "known_preps": [wire_key, ...]}`` →
     ``{"cells": [{"lease_id", "uid", "task", "prep", "timeout_s"}, ...],
-    "prepared": {wire_key: PreparedDevice.to_wire(), ...},
+    "prepared": {wire_key: PreparedTarget.to_wire(), ...},
     "done": bool, "retry_after_s": float}``.  Cells are leased
-    longest-expected-first; the serialized :class:`PreparedDevice` for a
-    cell's device key ships inline exactly once per worker (the worker
+    longest-expected-first; the serialized :class:`PreparedTarget` for a
+    cell's target key ships inline exactly once per worker (the worker
     advertises the keys it already holds).  ``done=True`` tells the
     worker the whole grid has settled and it should exit.
 
@@ -57,7 +57,7 @@ import urllib.error
 import urllib.request
 from typing import Mapping, Optional
 
-from repro.sweep.runner import PreparedDevice, SweepFailure, SweepOutcome, SweepTask
+from repro.sweep.runner import PreparedTarget, SweepFailure, SweepOutcome, SweepTask
 from repro.utils.serialization import to_jsonable
 
 #: Protocol version; a coordinator rejects workers speaking another one.
@@ -107,12 +107,15 @@ def failure_from_wire(payload: Mapping) -> SweepFailure:
     return SweepFailure.from_dict(payload)
 
 
-def prepared_to_wire(prepared: PreparedDevice) -> dict:
+def prepared_to_wire(prepared: PreparedTarget) -> dict:
     return prepared.to_wire()
 
 
-def prepared_from_wire(payload: Mapping) -> PreparedDevice:
-    return PreparedDevice.from_wire(payload)
+def prepared_from_wire(payload: Mapping) -> PreparedTarget:
+    # Backend-tagged: the payload's "backend" key selects the artifact
+    # shape (fpga payloads require coefficients, fit-free ones ship none);
+    # pre-backend payloads carry no tag and default to fpga.
+    return PreparedTarget.from_wire(payload)
 
 
 # -------------------------------------------------------------- HTTP client

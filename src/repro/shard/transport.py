@@ -36,7 +36,7 @@ from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sweep.runner import (
-        PreparedDevice,
+        PreparedTarget,
         SweepFailure,
         SweepOutcome,
         SweepRunner,
@@ -53,7 +53,7 @@ class Transport(ABC):
         self,
         runner: "SweepRunner",
         order: list[int],
-        preparations: Mapping[tuple, "PreparedDevice"],
+        preparations: Mapping[tuple, "PreparedTarget"],
     ) -> tuple[dict[int, "SweepOutcome"], dict[int, "SweepFailure"]]:
         """Run the cells listed in ``order`` (cost-sorted grid indices)."""
 
@@ -122,7 +122,7 @@ class CoordinatorTransport(Transport):
             on_outcome=lambda index, outcome: runner.settle_outcome(outcome),
             on_failure=lambda index, failure: runner.settle_failure(failure),
         )
-        prepared_by_key: dict[str, "PreparedDevice"] = {}
+        prepared_by_key: dict[str, "PreparedTarget"] = {}
         prep_keys: dict[int, Optional[str]] = {}
         for index in order:
             artifact = preparations.get(runner.tasks[index].prep_key)

@@ -4,7 +4,7 @@ A worker is a thin loop around the *existing* single-cell execution path
 (:func:`repro.sweep.runner.run_sweep_task`): register → lease → execute →
 report, with a daemon heartbeat thread keeping the leases alive.  Nothing
 about cell execution is distributed-specific — the worker rebuilds the
-:class:`~repro.sweep.runner.PreparedDevice` shipped by the coordinator
+:class:`~repro.sweep.runner.PreparedTarget` shipped by the coordinator
 (bit-exact JSON round trip) and calls the same function the local
 schedules call, so a cell's journal is byte-identical no matter which
 machine ran it.
@@ -45,7 +45,7 @@ from repro.shard.protocol import (
     task_from_wire,
 )
 import repro.telemetry as telemetry
-from repro.sweep.runner import PreparedDevice, SweepOutcome, run_sweep_task
+from repro.sweep.runner import PreparedTarget, SweepOutcome, run_sweep_task
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -120,7 +120,7 @@ class ShardWorker:
         self.poll_s = 0.5
         self.executed = 0
         self.reported_errors = 0
-        self._prepared: dict[str, PreparedDevice] = {}
+        self._prepared: dict[str, PreparedTarget] = {}
         self._lease_lock = threading.Lock()
         self._active_leases: set[str] = set()
         self._saw_done = threading.Event()

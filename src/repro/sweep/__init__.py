@@ -6,12 +6,15 @@ strategies, several latency targets, clock frequencies and utilization
 limits at once:
 
 * :mod:`repro.sweep.runner` — :func:`build_grid` / :class:`SweepRunner`:
-  fan a (device x clock x utilization x strategy x latency-target) grid out
-  across worker processes under a two-phase schedule: per-device
-  preparation (model fit + bundle selection, once per device, shipped as a
-  :class:`PreparedDevice`) followed by cost-ordered work-stealing execution
-  with per-task timeout, bounded retry and structured
-  :class:`SweepFailure` records — one archivable journal per task,
+  fan a (target x clock x utilization x strategy x latency-target) grid
+  out across worker processes under a two-phase schedule: per-target
+  preparation (model fit + bundle selection on the FPGA backend, fit-free
+  prep on the GPU one; once per target, shipped as a
+  :class:`PreparedTarget`) followed by cost-ordered work-stealing
+  execution with per-task timeout, bounded retry and structured
+  :class:`SweepFailure` records — one archivable journal per task.
+  Targets span backends (see :mod:`repro.backend`): ``fpga:pynq-z1`` and
+  ``gpu:jetson-tx2`` mix in one grid,
 * :mod:`repro.sweep.disk_cache` — :class:`DiskEvaluationCache`: JSON-lines
   estimator memoization that persists across processes and runs, layered
   under the in-memory :class:`~repro.search.cache.EvaluationCache`, with
@@ -61,6 +64,7 @@ from repro.sweep.checkpoint import (
 from repro.sweep.compare import (
     DeviceWinner,
     DiffRow,
+    ParetoPoint,
     StrategySummary,
     SweepComparison,
     SweepDiff,
@@ -79,6 +83,7 @@ from repro.sweep.disk_cache import (
 )
 from repro.sweep.runner import (
     PreparedDevice,
+    PreparedTarget,
     SweepFailure,
     SweepOutcome,
     SweepResult,
@@ -87,6 +92,7 @@ from repro.sweep.runner import (
     build_grid,
     expected_cost,
     prepare_device,
+    prepare_target,
     run_sweep_task,
 )
 
@@ -97,9 +103,11 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "PreparedDevice",
+    "PreparedTarget",
     "build_grid",
     "expected_cost",
     "prepare_device",
+    "prepare_target",
     "run_sweep_task",
     "DiskEvaluationCache",
     "CacheDirStats",
@@ -120,6 +128,7 @@ __all__ = [
     "SweepComparison",
     "StrategySummary",
     "DeviceWinner",
+    "ParetoPoint",
     "compare",
     "SweepDiff",
     "DiffRow",

@@ -8,6 +8,13 @@ and is directly comparable across runs and machines.  It renders both as an
 aligned plain-text table block (:meth:`SweepComparison.render`) and as a
 JSON-able structure (:meth:`SweepComparison.as_dict`).
 
+Outcomes are grouped by **backend** (derived from each task's target spec,
+see :mod:`repro.backend`): the report carries one quality/cost Pareto front
+per backend — best gap (ms) minimised against journaled evaluations
+minimised — plus a cross-backend front whenever the sweep mixed targets
+from more than one backend, so an FPGA device and a GPU baseline can be
+compared on one curve.
+
 :func:`diff_results` compares two *saved* runs cell by cell (keyed by task
 uid): per-uid latency / gap deltas, outcome-status transitions
 (ok ↔ failed ↔ missing) and the cells present in only one run.  Both sides
@@ -24,6 +31,8 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from repro.backend import backend_name_for
+from repro.core.pareto import pareto_front
 from repro.sweep.runner import SweepFailure, SweepOutcome, SweepResult
 from repro.utils.tables import render_table
 
@@ -66,6 +75,37 @@ class DeviceWinner:
     candidates: int
 
 
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated cell on a (best gap, evaluations) front."""
+
+    backend: str
+    device: str
+    fps: float
+    strategy: str
+    best_gap_ms: float
+    evaluations: int
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "device": self.device,
+            "fps": self.fps,
+            "strategy": self.strategy,
+            "best_gap_ms": self.best_gap_ms,
+            "evaluations": self.evaluations,
+        }
+
+
+def _pareto(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Front minimising both the latency gap and the evaluation cost."""
+    return pareto_front(
+        points,
+        cost=lambda p: p.best_gap_ms,
+        value=lambda p: -p.evaluations,
+    )
+
+
 @dataclass
 class SweepComparison:
     """Comparison report over one sweep's outcomes."""
@@ -73,6 +113,10 @@ class SweepComparison:
     strategies: list[StrategySummary]
     winners: list[DeviceWinner]
     totals: dict
+    #: Per-backend quality/cost fronts, keyed by backend name (sorted keys).
+    pareto_fronts: dict[str, list[ParetoPoint]] = field(default_factory=dict)
+    #: Joint front across backends; empty unless the sweep mixed backends.
+    cross_backend_front: list[ParetoPoint] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -104,6 +148,11 @@ class SweepComparison:
                 }
                 for w in self.winners
             ],
+            "pareto_fronts": {
+                backend: [p.as_dict() for p in front]
+                for backend, front in self.pareto_fronts.items()
+            },
+            "cross_backend_front": [p.as_dict() for p in self.cross_backend_front],
             "totals": dict(self.totals),
         }
 
@@ -144,7 +193,29 @@ class SweepComparison:
                 winner_rows,
                 title="Per-device winners",
             ),
-            (
+        ]
+        for backend, front in self.pareto_fronts.items():
+            blocks.append(render_table(
+                ["device", "target", "strategy", "best gap (ms)", "evals"],
+                [
+                    [p.device, f"{p.fps:g} FPS", p.strategy,
+                     f"{p.best_gap_ms:.2f}", p.evaluations]
+                    for p in front
+                ],
+                title=f"Pareto front [backend={backend}] (gap vs evaluations)",
+            ))
+        if self.cross_backend_front:
+            blocks.append(render_table(
+                ["backend", "device", "target", "strategy",
+                 "best gap (ms)", "evals"],
+                [
+                    [p.backend, p.device, f"{p.fps:g} FPS", p.strategy,
+                     f"{p.best_gap_ms:.2f}", p.evaluations]
+                    for p in self.cross_backend_front
+                ],
+                title="Cross-backend Pareto front (gap vs evaluations)",
+            ))
+        blocks.append(
                 f"Totals: {self.totals['tasks']} tasks, "
                 f"{self.totals['evaluations']} evaluations, "
                 f"{self.totals['candidates']} candidates, "
@@ -157,8 +228,7 @@ class SweepComparison:
                     f", {self.totals['reused_tasks']} reused cells"
                     if self.totals.get("reused_tasks") else ""
                 )
-            ),
-        ]
+        )
         text = "\n\n".join(blocks)
         # ljust-padded cells leave trailing spaces; strip them per line so
         # the report diffs cleanly and golden tests stay readable.
@@ -235,6 +305,26 @@ def compare(outcomes: Sequence[SweepOutcome] | SweepResult) -> SweepComparison:
             candidates=counts_by_outcome[id(best)][2],
         ))
 
+    # Quality/cost Pareto fronts: per backend, plus a joint front when the
+    # sweep mixed backends (e.g. FPGA devices against the GPU baseline).
+    points = [
+        ParetoPoint(
+            backend=backend_name_for(o.task.device),
+            device=o.task.device,
+            fps=o.task.fps,
+            strategy=o.task.strategy,
+            best_gap_ms=o.best_gap_ms,
+            evaluations=counts_by_outcome[id(o)][0],
+        )
+        for o in outcomes
+        if o.best_gap_ms is not None
+    ]
+    pareto_fronts = {
+        backend: _pareto([p for p in points if p.backend == backend])
+        for backend in sorted({p.backend for p in points})
+    }
+    cross_backend_front = _pareto(points) if len(pareto_fronts) > 1 else []
+
     totals = {
         "tasks": len(outcomes),
         "failed_tasks": failed,
@@ -246,7 +336,13 @@ def compare(outcomes: Sequence[SweepOutcome] | SweepResult) -> SweepComparison:
         "disk_misses": sum(s.disk_misses for s in strategies),
         "duration_s": sum(s.duration_s for s in strategies),
     }
-    return SweepComparison(strategies=strategies, winners=winners, totals=totals)
+    return SweepComparison(
+        strategies=strategies,
+        winners=winners,
+        totals=totals,
+        pareto_fronts=pareto_fronts,
+        cross_backend_front=cross_backend_front,
+    )
 
 
 # ------------------------------------------------------------------ run diff
@@ -286,6 +382,7 @@ class DiffRow:
     name: str
     status_a: str  # "ok" | "failed" | "missing"
     status_b: str
+    backend: str = ""
     latency_a: Optional[float] = None
     latency_b: Optional[float] = None
     gap_a: Optional[float] = None
@@ -319,6 +416,7 @@ class DiffRow:
         return {
             "uid": self.uid,
             "name": self.name,
+            "backend": self.backend,
             "status_a": self.status_a,
             "status_b": self.status_b,
             "latency_a": self.latency_a,
@@ -367,6 +465,7 @@ class SweepDiff:
         table_rows = [
             [
                 row.name,
+                row.backend or "-",
                 row.status_a if row.status_a == row.status_b
                 else f"{row.status_a} -> {row.status_b}",
                 fmt(row.latency_a),
@@ -381,7 +480,7 @@ class SweepDiff:
         blocks = []
         if table_rows:
             blocks.append(render_table(
-                ["cell", "status", "latency A (ms)", "latency B (ms)",
+                ["cell", "backend", "status", "latency A (ms)", "latency B (ms)",
                  "Δ latency (ms)", "Δ gap (ms)", "Δ evals"],
                 table_rows,
                 title=f"Sweep diff: A={self.label_a}  B={self.label_b}",
@@ -415,23 +514,25 @@ def diff_results(
     def describe(uid: str, outcomes, failures) -> tuple:
         outcome = outcomes.get(uid)
         if outcome is not None:
-            return ("ok", outcome.task.name, outcome.best_latency_ms,
+            return ("ok", outcome.task, outcome.best_latency_ms,
                     outcome.best_gap_ms, outcome.evaluations)
         failure = failures.get(uid)
         if failure is not None:
-            return ("failed", failure.task.name, None, None, None)
+            return ("failed", failure.task, None, None, None)
         return ("missing", None, None, None, None)
 
     rows = []
     for uid in sorted(set(outcomes_a) | set(failures_a)
                       | set(outcomes_b) | set(failures_b)):
-        status_a, name_a, latency_a, gap_a, evals_a = \
+        status_a, task_a, latency_a, gap_a, evals_a = \
             describe(uid, outcomes_a, failures_a)
-        status_b, name_b, latency_b, gap_b, evals_b = \
+        status_b, task_b, latency_b, gap_b, evals_b = \
             describe(uid, outcomes_b, failures_b)
+        task = task_a if task_a is not None else task_b
         rows.append(DiffRow(
             uid=uid,
-            name=name_a or name_b or uid,
+            name=task.name if task is not None else uid,
+            backend=backend_name_for(task.device) if task is not None else "",
             status_a=status_a,
             status_b=status_b,
             latency_a=latency_a,

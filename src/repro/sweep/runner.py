@@ -16,7 +16,7 @@ Execution is a **two-phase schedule**:
    and bundle selection (step 2) are deterministic per (device, clock,
    utilization, top-bundles) and independent of the strategy / latency
    target, so they run *once per device* in the parent and are shipped to
-   workers as a serializable :class:`PreparedDevice` artifact instead of
+   workers as a serializable :class:`PreparedTarget` artifact instead of
    being recomputed in every grid cell.
 2. **Execution** — cells are dispatched longest-expected-first to a
    work-stealing pool of single-task worker processes (``schedule="steal"``,
@@ -75,7 +75,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence, Union
 
 import repro.telemetry as telemetry
-from repro.hw.device import resolve_devices
+from repro.backend import backend_for, backend_name_for, resolve_targets
 from repro.search import available_strategies
 from repro.utils.logging import get_logger
 from repro.utils.serialization import dump_json, load_json, to_jsonable
@@ -129,6 +129,17 @@ class SweepTask:
     utilization: float = 1.0
 
     @property
+    def backend(self) -> str:
+        """Backend name of this cell, derived from the device string.
+
+        The device string *is* the backend axis: legacy FPGA cells carry
+        bare display names (``PYNQ-Z1``), other backends a prefix
+        (``gpu:jetson-tx2``) — so no new serialized field is needed and
+        pre-backend checkpoints round-trip byte-identically.
+        """
+        return backend_name_for(self.device)
+
+    @property
     def name(self) -> str:
         """Short display name: the grid axes a human sweeps over.
 
@@ -169,7 +180,7 @@ class SweepTask:
 
     @property
     def prep_key(self) -> tuple:
-        """Preparation cells with equal keys share one :class:`PreparedDevice`.
+        """Preparation cells with equal keys share one :class:`PreparedTarget`.
 
         The model fit and bundle selection depend on the device, the
         accelerator clock, the utilization limit and how many bundles are
@@ -191,19 +202,24 @@ def build_grid(
     clocks_mhz: Optional[Sequence[float]] = None,
     utilizations: Sequence[float] = (1.0,),
 ) -> list[SweepTask]:
-    """Build the device x clock x utilization x strategy x target task grid.
+    """Build the target x clock x utilization x strategy x fps task grid.
 
-    ``devices`` and ``strategies`` accept comma-separated strings or
-    sequences of names; both are validated eagerly so a typo fails before
-    any worker is spawned.  ``clocks_mhz=None`` (the default) keeps every
-    device at its default clock; an explicit clock list is validated
-    against each device's supported range.  ``utilizations`` restricts the
-    usable fraction of the device resources per cell.  The grid order
-    (devices outermost, targets innermost) is deterministic, and every axis
-    is deduplicated — duplicate cells would run twice and make two workers
-    append to the same disk-cache shard.
+    ``devices`` accepts target specs (``backend:device``, e.g.
+    ``fpga:pynq-z1`` or ``gpu:jetson-tx2``; bare names default to the fpga
+    backend) as a comma-separated string or a sequence, so one grid can mix
+    backends.  ``strategies`` likewise accepts a comma string or sequence.
+    Both are validated eagerly — an unknown backend prefix or per-backend
+    device name raises a :class:`ValueError` listing the registered
+    backends and their devices before any worker is spawned.
+    ``clocks_mhz=None`` (the default) keeps every target at its default
+    clock; an explicit clock list is validated against each target's
+    supported range.  ``utilizations`` restricts the usable fraction of the
+    device resources per cell.  The grid order (targets outermost, fps
+    innermost) is deterministic, and every axis is deduplicated — duplicate
+    cells would run twice and make two workers append to the same
+    disk-cache shard.
     """
-    resolved_devices = resolve_devices(devices)
+    targets = resolve_targets(devices)
     if isinstance(strategies, str):
         strategy_names = [part.strip() for part in strategies.split(",") if part.strip()]
     else:
@@ -233,9 +249,9 @@ def build_grid(
         clock_values = list(dict.fromkeys(float(clock) for clock in clocks_mhz))
         if not clock_values:
             raise ValueError("At least one clock frequency is required")
-        for device in resolved_devices:
+        for target in targets:
             for clock in clock_values:
-                device.validate_clock(clock)
+                target.backend.validate_clock(target.device, clock)
     utilization_values = list(dict.fromkeys(float(u) for u in utilizations))
     if not utilization_values:
         raise ValueError("At least one utilization limit is required")
@@ -244,7 +260,7 @@ def build_grid(
 
     return [
         SweepTask(
-            device=device.name,
+            device=target.canonical,
             strategy=strategy,
             fps=float(fps),
             tolerance_ms=tolerance_ms,
@@ -255,7 +271,7 @@ def build_grid(
             clock_mhz=clock,
             utilization=utilization,
         )
-        for device in resolved_devices
+        for target in targets
         for clock in clock_values
         for utilization in utilization_values
         for strategy in strategy_names
@@ -265,29 +281,33 @@ def build_grid(
 
 # ----------------------------------------------------------------- preparation
 @dataclass(frozen=True)
-class PreparedDevice:
-    """Per-device preparation artifact shared by every cell of that device.
+class PreparedTarget:
+    """Per-target preparation artifact shared by every cell of that target.
 
-    Carries the result of co-design steps 1 and 2 (fitted analytical-model
-    coefficients and the selected bundle ids, in selection order) so the
+    Carries the result of co-design steps 1 and 2 (for the FPGA backend:
+    fitted analytical-model coefficients and the selected bundle ids, in
+    selection order; fit-free backends such as the GPU roofline carry
+    ``coefficients=None`` and their deterministic selection) so the
     per-cell workers can jump straight to step 3.  Picklable, so it ships
     to worker processes unchanged — the coefficients are bit-exact, not a
-    JSON round-trip.
+    JSON round-trip.  ``backend`` tags which backend prepared it; the
+    default keeps artifacts from pre-backend wire payloads valid.
     """
 
     device: str
     clock_mhz: float
     utilization: float
     top_bundles: int
-    coefficients: "AnalyticalModelCoefficients"
+    coefficients: Optional["AnalyticalModelCoefficients"]
     selected_bundle_ids: tuple[int, ...]
     fingerprint: str
     prep_duration_s: float = 0.0
+    backend: str = "fpga"
 
     def matches(self, task: SweepTask) -> bool:
         """True when this artifact is valid for ``task``.
 
-        A task without an explicit clock means the device default, so the
+        A task without an explicit clock means the target default, so the
         artifact's clock must equal that default — an artifact fitted at
         another clock carries wrong coefficients and must be rejected.
         """
@@ -299,11 +319,12 @@ class PreparedDevice:
             return False
         if task.clock_mhz is not None:
             return task.clock_mhz == self.clock_mhz
-        from repro.hw.device import get_device
-
         try:
-            default_clock = get_device(task.device).default_clock_mhz
-        except KeyError:  # pragma: no cover - unknown device fails later anyway
+            task_backend = backend_for(task.device)
+            default_clock = task_backend.default_clock_mhz(
+                task_backend.device_of(task.device)
+            )
+        except (KeyError, ValueError):  # pragma: no cover - unknown device fails later
             return False
         return default_clock == self.clock_mhz
 
@@ -317,6 +338,7 @@ class PreparedDevice:
             "selected_bundle_ids": list(self.selected_bundle_ids),
             "fingerprint": self.fingerprint,
             "prep_duration_s": self.prep_duration_s,
+            "backend": self.backend,
         }
 
     @property
@@ -338,52 +360,72 @@ class PreparedDevice:
     def to_wire(self) -> dict:
         """Full JSON view, coefficients included, for cross-machine shipping.
 
-        Unlike :meth:`as_dict`, every fitted coefficient travels along.
-        Python's JSON encoder emits the shortest round-tripping ``repr`` of
-        each float, so a ``to_wire`` → ``from_wire`` trip is bit-exact and
-        a remote worker produces journals byte-identical to an in-process
-        run with the pickled artifact.
+        Unlike :meth:`as_dict`, every fitted coefficient travels along (for
+        fit-free backends there are none and the key is absent).  Python's
+        JSON encoder emits the shortest round-tripping ``repr`` of each
+        float, so a ``to_wire`` → ``from_wire`` trip is bit-exact and a
+        remote worker produces journals byte-identical to an in-process run
+        with the pickled artifact.
         """
         from dataclasses import fields as coeff_fields
 
         payload = self.as_dict()
-        payload["coefficients"] = {
-            field.name: float(getattr(self.coefficients, field.name))
-            for field in coeff_fields(type(self.coefficients))
-        }
+        if self.coefficients is not None:
+            payload["coefficients"] = {
+                field.name: float(getattr(self.coefficients, field.name))
+                for field in coeff_fields(type(self.coefficients))
+            }
         return payload
 
     @classmethod
-    def from_wire(cls, payload: Mapping) -> "PreparedDevice":
-        """Rebuild a shipped artifact from its :meth:`to_wire` JSON view."""
+    def from_wire(cls, payload: Mapping) -> "PreparedTarget":
+        """Rebuild a shipped artifact from its :meth:`to_wire` JSON view.
+
+        Payloads from pre-backend coordinators carry no ``backend`` key and
+        default to ``fpga`` — for which the fitted coefficients remain
+        mandatory; fit-free backends ship without them.
+        """
         from repro.hw.analytical import AnalyticalModelCoefficients
 
-        coefficients = payload.get("coefficients")
-        if not isinstance(coefficients, Mapping):
+        backend = str(payload.get("backend", "fpga"))
+        coefficients_payload = payload.get("coefficients")
+        if isinstance(coefficients_payload, Mapping):
+            coefficients: Optional[AnalyticalModelCoefficients] = (
+                AnalyticalModelCoefficients(
+                    **{str(k): float(v) for k, v in coefficients_payload.items()}
+                )
+            )
+        elif backend == "fpga":
             raise ValueError("wire payload is missing the fitted coefficients")
+        else:
+            coefficients = None
         return cls(
             device=str(payload["device"]),
             clock_mhz=float(payload["clock_mhz"]),
             utilization=float(payload["utilization"]),
             top_bundles=int(payload["top_bundles"]),
-            coefficients=AnalyticalModelCoefficients(
-                **{str(k): float(v) for k, v in coefficients.items()}
-            ),
+            coefficients=coefficients,
             selected_bundle_ids=tuple(int(b) for b in payload["selected_bundle_ids"]),
             fingerprint=str(payload["fingerprint"]),
             prep_duration_s=float(payload.get("prep_duration_s", 0.0)),
+            backend=backend,
         )
 
 
+#: Backward-compatible alias: the artifact was FPGA-only before the unified
+#: backend seam; existing imports keep working.
+PreparedDevice = PreparedTarget
+
+
 def _task_flow(task: SweepTask):
-    """Build the co-design flow for one sweep task (device resolved inside)."""
+    """Build the co-design flow for one sweep task (target resolved inside)."""
     from repro.core import CoDesignFlow, CoDesignInputs, LatencyTarget
     from repro.detection.task import DAC_SDC_TASK
-    from repro.hw.device import get_device
 
-    device = get_device(task.device)
-    clock = device.validate_clock(task.clock_mhz) if task.clock_mhz is not None \
-        else device.default_clock_mhz
+    backend = backend_for(task.device)
+    device = backend.device_of(task.device)
+    clock = backend.validate_clock(device, task.clock_mhz) if task.clock_mhz is not None \
+        else backend.default_clock_mhz(device)
     target = LatencyTarget(fps=task.fps, clock_mhz=clock, tolerance_ms=task.tolerance_ms)
     inputs = CoDesignInputs(
         task=DAC_SDC_TASK,
@@ -399,36 +441,41 @@ def _task_flow(task: SweepTask):
         rng=task.seed,
         search_strategy=task.strategy,
         clock_mhz=clock,
+        backend=backend,
     )
     return flow, device, target
 
 
-def prepare_device(task: SweepTask) -> PreparedDevice:
+def prepare_device(task: SweepTask) -> PreparedTarget:
     """Run co-design steps 1 and 2 once for a task's preparation cell.
 
     Both steps are deterministic for a given (device, clock, utilization,
     top-bundles) tuple, so the resulting artifact is valid for every grid
-    cell sharing the task's :attr:`SweepTask.prep_key`.
+    cell sharing the task's :attr:`SweepTask.prep_key`.  On fit-free
+    backends step 1 is a no-op and the artifact carries no coefficients.
     """
-    from repro.sweep.disk_cache import coefficients_fingerprint
-
     start = time.perf_counter()
     with telemetry.trace("sweep.prep.device", device=task.device,
-                         clock_mhz=task.clock_mhz, top_bundles=task.top_bundles):
+                         clock_mhz=task.clock_mhz, top_bundles=task.top_bundles,
+                         backend=task.backend):
         flow, _, _ = _task_flow(task)
         flow.step1_modeling()
         _, _, selected = flow.step2_bundle_selection()
-    coefficients = flow.auto_hls.coefficients
-    return PreparedDevice(
+    return PreparedTarget(
         device=task.device,
         clock_mhz=flow.auto_hls.clock_mhz,
         utilization=task.utilization,
         top_bundles=task.top_bundles,
-        coefficients=coefficients,
+        coefficients=flow.auto_hls.coefficients,
         selected_bundle_ids=tuple(b.bundle_id for b in selected),
-        fingerprint=coefficients_fingerprint(coefficients),
+        fingerprint=flow.backend.engine_fingerprint(flow.auto_hls),
         prep_duration_s=time.perf_counter() - start,
+        backend=flow.backend.name,
     )
+
+
+#: Backward-compatible alias of :func:`prepare_device`.
+prepare_target = prepare_device
 
 
 def _prepare_device_pooled(task: SweepTask) -> tuple:
@@ -541,7 +588,7 @@ class SweepFailure:
 def run_sweep_task(
     task: SweepTask,
     cache_dir: Optional[str] = None,
-    prepared: Optional[PreparedDevice] = None,
+    prepared: Optional[PreparedTarget] = None,
 ) -> SweepOutcome:
     """Execute one sweep task (this is the worker-process function).
 
@@ -552,20 +599,20 @@ def run_sweep_task(
     reset when the search starts.
     """
     with telemetry.trace("sweep.cell", uid=task.uid, device=task.device,
-                         strategy=task.strategy):
+                         strategy=task.strategy, backend=task.backend):
         return _run_sweep_task(task, cache_dir, prepared)
 
 
 def _run_sweep_task(
     task: SweepTask,
     cache_dir: Optional[str],
-    prepared: Optional[PreparedDevice],
+    prepared: Optional[PreparedTarget],
 ) -> SweepOutcome:
     # Imported here so a forked/spawned worker resolves everything locally.
     from repro.core.auto_dnn import AutoDNN
     from repro.core.bundle_generation import get_bundle
     from repro.search import EvaluationCache, SearchSession
-    from repro.sweep.disk_cache import DiskEvaluationCache, coefficients_fingerprint
+    from repro.sweep.disk_cache import DiskEvaluationCache
 
     fail_names = _env_task_names(FAIL_TASKS_ENV)
     if task.name in fail_names or task.uid in fail_names:
@@ -575,32 +622,37 @@ def _run_sweep_task(
         time.sleep(3600.0)  # simulates a hung cell; killed by the scheduler
 
     start = time.perf_counter()
-    flow, device, target = _task_flow(task)
+    flow, _, target = _task_flow(task)
     if prepared is not None and not prepared.matches(task):
         raise ValueError(
-            f"PreparedDevice for {prepared.device}@{prepared.clock_mhz:g}MHz "
+            f"PreparedTarget for {prepared.device}@{prepared.clock_mhz:g}MHz "
             f"does not match task {task.name}"
         )
     if prepared is not None:
-        flow.auto_hls.coefficients = prepared.coefficients
-        flow.evaluator.coefficients = prepared.coefficients
+        if prepared.coefficients is not None:
+            flow.auto_hls.coefficients = prepared.coefficients
+            if flow.evaluator is not None:
+                flow.evaluator.coefficients = prepared.coefficients
         selected = [get_bundle(bundle_id) for bundle_id in prepared.selected_bundle_ids]
     else:
         flow.step1_modeling()
         _, _, selected = flow.step2_bundle_selection()
 
     # The disk cache can only exist after the model fit: its namespace
-    # embeds the fitted-coefficients fingerprint so a refit can never serve
-    # stale estimates.  The fit is deterministic per device, so repeated
-    # sweeps land in the same namespace and hit.
+    # embeds the engine's model fingerprint (the fitted coefficients on the
+    # FPGA backend, the roofline constants on the GPU one) so a refit can
+    # never serve stale estimates.  The fit is deterministic per target, so
+    # repeated sweeps land in the same namespace and hit.  The namespace
+    # device is the task's canonical device string — identical to the
+    # legacy display name for FPGA cells.
     disk: Optional[DiskEvaluationCache] = None
     if cache_dir is not None:
         disk = DiskEvaluationCache(
             flow.auto_hls.estimate,
             cache_dir,
-            device=device.name,
+            device=task.device,
             clock_mhz=flow.auto_hls.clock_mhz,
-            context=coefficients_fingerprint(flow.auto_hls.coefficients),
+            context=flow.backend.engine_fingerprint(flow.auto_hls),
             # Shards are uid-keyed: two cells differing only in the search
             # budget or seed must not append to the same shard file.
             shard=task.uid,
@@ -609,11 +661,12 @@ def _run_sweep_task(
 
     # Journal metadata excludes worker count, schedule, preparation mode and
     # cache warmth on purpose: the journal of a task must be identical
-    # across execution modes.
+    # across execution modes.  The device value is the canonical device
+    # string (== the legacy display name for FPGA cells, byte-identical).
     session = SearchSession(
         name=task.name,
         metadata={
-            "device": device.name,
+            "device": task.device,
             "strategy": task.strategy,
             "fps": task.fps,
             "tolerance_ms": task.tolerance_ms,
@@ -678,7 +731,7 @@ class SweepResult:
     wall_time_s: float = 0.0
     failures: list[SweepFailure] = field(default_factory=list)
     schedule: str = "steal"
-    preparations: list[PreparedDevice] = field(default_factory=list)
+    preparations: list[PreparedTarget] = field(default_factory=list)
     prep_time_s: float = 0.0
     #: Cells reused verbatim from a checkpoint / prior result (resume).
     reused: int = 0
@@ -835,7 +888,7 @@ class SweepRunner:
     Preparation (model fit + bundle selection) runs once per unique
     :attr:`SweepTask.prep_key` — fanned across a process pool when
     ``workers > 1`` and several preparations are needed — and is shipped
-    to workers (see :class:`PreparedDevice`); pass
+    to workers (see :class:`PreparedTarget`); pass
     ``share_preparation=False`` to restore the per-cell behaviour.
     Results are collected in task order in every mode, and each task's
     journal is independent of the execution mode, so all modes are
@@ -1133,7 +1186,7 @@ class SweepRunner:
         return self._timeouts.get(index, self.timeout_s)
 
     # ----------------------------------------------------------- preparation
-    def _prepare_devices(self, tasks: Sequence[SweepTask]) -> dict[tuple, PreparedDevice]:
+    def _prepare_devices(self, tasks: Sequence[SweepTask]) -> dict[tuple, PreparedTarget]:
         """One :func:`prepare_device` per unique prep key, pooled when useful.
 
         With several distinct preparation cells and a multi-worker budget,
@@ -1208,7 +1261,7 @@ class SweepRunner:
         reused = self._load_resume()
         to_run = [i for i in range(len(self.tasks)) if i not in reused]
 
-        preparations: dict[tuple, PreparedDevice] = {}
+        preparations: dict[tuple, PreparedTarget] = {}
         if self.share_preparation and to_run:
             with telemetry.trace("sweep.prep", cells=len(to_run)) as prep_span:
                 preparations = self._prepare_devices([self.tasks[i] for i in to_run])
@@ -1268,8 +1321,8 @@ class SweepRunner:
         )
 
     def _prepared_for(
-        self, task: SweepTask, preparations: Mapping[tuple, PreparedDevice]
-    ) -> Optional[PreparedDevice]:
+        self, task: SweepTask, preparations: Mapping[tuple, PreparedTarget]
+    ) -> Optional[PreparedTarget]:
         return preparations.get(task.prep_key)
 
     def _classify(self, value) -> tuple[Optional[SweepOutcome], Optional[tuple[str, str]]]:

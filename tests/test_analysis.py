@@ -220,6 +220,24 @@ class TestPickleBoundary:
         """)
         assert rules_of(findings) == {"pickle-boundary"}
 
+    def test_flags_prepared_target_and_subclasses(self, tmp_path):
+        findings = lint_source(tmp_path / "mod.py", """\
+            import threading
+
+            class PreparedTarget:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+            class GPUPrepared(PreparedTarget):
+                def __init__(self):
+                    super().__init__()
+                    self._event = threading.Event()
+        """)
+        # Both the named payload class and its subclass (whose
+        # to_wire/from_wire live on the base, outside this module) flag.
+        assert rules_of(findings) == {"pickle-boundary"}
+        assert len(findings) == 2
+
     def test_allows_non_boundary_class_and_opt_out(self, tmp_path):
         findings = lint_source(tmp_path / "mod.py", """\
             import threading

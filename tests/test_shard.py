@@ -499,6 +499,35 @@ class TestDistributedSweep:
         status = load_checkpoint(tmp_path / CHECKPOINT_FILENAME)
         assert len(status.outcomes) == len(tasks) and not status.failures
 
+    def test_mixed_backend_grid_with_killed_worker(self, tmp_path):
+        """A grid mixing FPGA and GPU targets distributes like a local run,
+        including requeue of a cell whose worker died mid-lease."""
+        tasks = build_grid("fpga:pynq-z1,gpu:jetson-tx2", "scd,random",
+                           [40.0], **TINY)
+        assert {t.device for t in tasks} == {"PYNQ-Z1", "gpu:jetson-tx2"}
+        local = SweepRunner(tasks, workers=1,
+                            cache_dir=tmp_path / "local").run()
+
+        def grab_and_abandon(url):
+            registration = post_json(url, "/v1/register", {"name": "doomed"})
+            reply = post_json(url, "/v1/lease", {
+                "worker_id": registration["worker_id"], "slots": 1,
+                "known_preps": [],
+            })
+            assert len(reply["cells"]) == 1
+
+        distributed, _, codes = run_distributed(
+            tasks, worker_count=1, cache_dir=str(tmp_path / "shard"),
+            worker_hook=grab_and_abandon, lease_ttl_s=0.5,
+            runner_kwargs={"retries": 1, "retry_backoff_s": 0.0},
+        )
+        assert codes == [0]
+        assert distributed.ok and len(distributed) == len(tasks)
+        assert [o.task.uid for o in distributed.outcomes] == \
+            [task.uid for task in tasks]
+        assert max(o.attempts for o in distributed.outcomes) == 2
+        assert journal_bytes(local.outcomes) == journal_bytes(distributed.outcomes)
+
     def test_poisoned_cell_becomes_failure_with_exit_semantics(self, tmp_path, monkeypatch):
         from repro.sweep.runner import FAIL_TASKS_ENV
 

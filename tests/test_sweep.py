@@ -441,6 +441,11 @@ device  | target | winner | best gap (ms) | cands
 PYNQ-Z1 | 20 FPS | random | 0.75          | 3
 Ultra96 | 20 FPS | scd    | 0.50          | 1
 
+Pareto front [backend=fpga] (gap vs evaluations)
+device  | target | strategy | best gap (ms) | evals
+--------+--------+----------+---------------+------
+Ultra96 | 20 FPS | scd      | 0.50          | 20
+
 Totals: 4 tasks, 150 evaluations, 6 candidates, 70 estimator calls"""
 
 
@@ -477,11 +482,27 @@ class TestSweepCLI:
         with pytest.raises(ValueError, match="Unknown search strategy"):
             main(["sweep", "--strategies", "bogus", "--fps", "40"])
 
-    def test_sweep_command_rejects_unknown_device(self):
+    def test_sweep_command_rejects_unknown_device(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(KeyError, match="Unknown device"):
+        # Rejected at the parser (usage error, exit code 2), not deep in the
+        # runner; the message lists the registered backends and devices.
+        with pytest.raises(SystemExit) as excinfo:
             main(["sweep", "--devices", "bogus", "--fps", "40"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "Unknown fpga device 'bogus'" in err
+        assert "Registered backends" in err
+
+    def test_sweep_command_rejects_unknown_backend(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--devices", "tpu:v4", "--fps", "40"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "Unknown backend 'tpu'" in err
+        assert "Registered backends" in err
 
 
 class TestCLIArgumentHardening:
