@@ -40,7 +40,7 @@ from repro.analysis.core import (
     register,
 )
 
-_SCOPE_MARKERS = ("/shard/",)
+_SCOPE_MARKERS = ("/shard/", "/service/")
 _SCOPE_SUFFIXES = ("sweep/checkpoint.py", "telemetry/sink.py")
 
 #: Fully qualified blocking calls.

@@ -33,7 +33,7 @@ from repro.analysis.core import (
 _SEEDED_FACTORIES = {"Random", "SystemRandom", "default_rng", "Generator",
                      "SeedSequence", "getstate", "setstate"}
 
-_SCOPE_MARKERS = ("/search/", "/sweep/", "/shard/")
+_SCOPE_MARKERS = ("/search/", "/sweep/", "/shard/", "/service/")
 
 
 @register

@@ -171,6 +171,13 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
                              "(0 disables backoff)")
 
 
+def _add_token_arg(parser: argparse.ArgumentParser) -> None:
+    """Shared-secret flag accepted by every networked shard/service command."""
+    parser.add_argument("--token", default=None, metavar="SECRET",
+                        help="shared secret sent as the X-Repro-Token header "
+                             "(default: $REPRO_SERVICE_TOKEN; '' disables auth)")
+
+
 def _add_persistence_args(parser: argparse.ArgumentParser) -> None:
     """Cache / checkpoint / report args shared by ``sweep`` and the coordinator."""
     parser.add_argument("--resume", action="store_true",
@@ -267,6 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
     coordinator.add_argument("--heartbeat-s", type=_positive_float, default=5.0,
                              help="heartbeat period suggested to workers "
                                   "(must be below --lease-ttl-s)")
+    _add_token_arg(coordinator)
     _add_grid_args(coordinator)
     _add_resilience_args(coordinator)
     _add_persistence_args(coordinator)
@@ -285,6 +293,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="this machine's persistent evaluation-cache directory")
     worker.add_argument("--name", default=None,
                         help="worker display name (default: hostname-pid)")
+    worker.add_argument("--idle-timeout-s", type=_positive_float, default=None,
+                        help="against a multi-job service: exit 0 after this long "
+                             "with no lease granted (default: poll forever)")
+    _add_token_arg(worker)
 
     status = shard_sub.add_parser(
         "status",
@@ -295,6 +307,82 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="coordinator address (http:// is implied)")
     status.add_argument("--json", action="store_true",
                         help="print the raw /v1/metrics JSON payload")
+    status.add_argument("--watch", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="refresh the status display every SECONDS until "
+                             "interrupted (or the coordinator reports done)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a persistent multi-tenant job service (submit sweeps with "
+             "'submit'; workers connect with 'shard worker')",
+        parents=[common],
+    )
+    serve.add_argument("--root", required=True, metavar="DIR",
+                       help="service root directory (journal, per-job dirs, "
+                            "shared estimator cache)")
+    serve.add_argument("--bind", default="127.0.0.1:8765", metavar="HOST:PORT",
+                       help="address to listen on (0.0.0.0:PORT for all interfaces)")
+    serve.add_argument("--lease-ttl-s", type=_positive_float, default=30.0,
+                       help="requeue a cell when its worker misses heartbeats "
+                            "for this long")
+    serve.add_argument("--heartbeat-s", type=_positive_float, default=5.0,
+                       help="heartbeat period suggested to workers "
+                            "(must be below --lease-ttl-s)")
+    serve.add_argument("--max-active", type=_positive_int, default=4,
+                       help="jobs allowed in preparing/running at once "
+                            "(the rest wait queued)")
+    _add_token_arg(serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one sweep job to a running service (same grid/budget "
+             "flags as 'sweep')",
+        parents=[common],
+    )
+    submit.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="service coordinator address (http:// is implied)")
+    submit.add_argument("--name", default=None,
+                        help="job display name (slugged into the job uid)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job settles, streaming progress")
+    submit.add_argument("--wait-timeout-s", type=_positive_float, default=None,
+                        help="give up --wait after this long (job keeps running)")
+    _add_token_arg(submit)
+    _add_grid_args(submit)
+    _add_resilience_args(submit)
+    _add_budget_args(submit)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list a service's jobs and their progress",
+        parents=[common],
+    )
+    jobs_cmd.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="service coordinator address (http:// is implied)")
+    jobs_cmd.add_argument("--json", action="store_true",
+                          help="print the raw job summaries as JSON")
+    _add_token_arg(jobs_cmd)
+
+    job_cmd = sub.add_parser(
+        "job", help="inspect, cancel or fetch the result of one service job",
+        parents=[common],
+    )
+    job_sub = job_cmd.add_subparsers(dest="action", required=True)
+    for action, blurb in (("status", "one job's state and per-cell progress"),
+                          ("cancel", "cancel a queued or running job"),
+                          ("result", "fetch a settled job's sweep result")):
+        action_parser = job_sub.add_parser(action, help=blurb, parents=[common])
+        action_parser.add_argument("uid", help="job uid (as printed by submit/jobs)")
+        action_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                                   help="service coordinator address "
+                                        "(http:// is implied)")
+        action_parser.add_argument("--json", action="store_true",
+                                   help="print the raw JSON payload")
+        _add_token_arg(action_parser)
+        if action == "result":
+            action_parser.add_argument("--output", default=None, metavar="PATH",
+                                       help="write the result JSON here ("
+                                            "readable by 'compare --diff')")
 
     telemetry_cmd = sub.add_parser(
         "telemetry", help="inspect the telemetry recorded by a sweep",
@@ -545,10 +633,13 @@ def _run_shard(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        from repro.shard.protocol import resolve_token
+
         transport = CoordinatorTransport(
             bind=bind,
             lease_ttl_s=args.lease_ttl_s,
             heartbeat_s=args.heartbeat_s,
+            token=resolve_token(args.token),
             on_bound=lambda coordinator: print(
                 f"Coordinator listening on {coordinator.url} "
                 f"(lease TTL {args.lease_ttl_s:g}s); waiting for workers...",
@@ -575,12 +666,15 @@ def _run_shard(args: argparse.Namespace) -> int:
         return _run_shard_status(args)
     if args.role == "worker":
         from repro.shard import ShardWorker
+        from repro.shard.protocol import resolve_token
 
         worker = ShardWorker(
             args.connect,
             workers=args.workers,
             cache_dir=args.cache_dir,
             name=args.name,
+            token=resolve_token(args.token),
+            idle_timeout_s=args.idle_timeout_s,
         )
         code = worker.run()
         print(f"Worker {worker.name}: executed {worker.executed} cell(s), "
@@ -589,26 +683,18 @@ def _run_shard(args: argparse.Namespace) -> int:
     raise ValueError(f"Unknown shard role {args.role}")  # pragma: no cover
 
 
-def _run_shard_status(args: argparse.Namespace) -> int:
-    import json
-
-    from repro.shard.protocol import ShardProtocolError, get_json
-
-    base = args.connect.rstrip("/")
+def _service_base(connect: str) -> str:
+    base = connect.rstrip("/")
     if not base.startswith(("http://", "https://")):
         base = "http://" + base
-    try:
-        payload = get_json(base, "/v1/metrics")
-    except ShardProtocolError as exc:
-        print(f"repro-codesign shard status: cannot reach coordinator: {exc}",
-              file=sys.stderr)
-        return 1
-    if args.json:
-        print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+    return base
+
+
+def _render_shard_metrics(base: str, payload: dict) -> None:
     counts = payload.get("counts") or {}
     lease = payload.get("lease_metrics") or {}
-    print(f"Coordinator {base} (protocol v{payload.get('version', '?')})")
+    kind = "Service" if payload.get("service") else "Coordinator"
+    print(f"{kind} {base} (protocol v{payload.get('version', '?')})")
     print(
         "  cells: {cells} total, {pending} pending, {leased} leased, "
         "{settled} settled, {failed} failed".format(
@@ -633,9 +719,215 @@ def _run_shard_status(args: argparse.Namespace) -> int:
             f"errors={entry.get('errors', 0)} busy={entry.get('busy_s', 0.0):.1f}s "
             f"last seen {entry.get('last_seen_s', 0.0):.1f}s ago"
         )
+    # A service coordinator reports per-job sections after the aggregates.
+    for job in payload.get("jobs") or []:
+        job_counts = job.get("counts") or {}
+        line = (
+            f"  job {job.get('job')} [{job.get('state')}]: "
+            f"{job_counts.get('settled', 0)}/{job_counts.get('cells', 0)} settled, "
+            f"{job_counts.get('leased', 0)} leased, "
+            f"{job_counts.get('failed', 0)} failed"
+        )
+        if job.get("recovered"):
+            line += " (recovered)"
+        if job.get("error"):
+            line += f" — {job['error']}"
+        print(line)
     if payload.get("telemetry") is None:
         print("  telemetry: disabled on the coordinator")
+
+
+def _run_shard_status(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from repro.shard.protocol import ShardProtocolError, get_json
+
+    base = _service_base(args.connect)
+    while True:
+        try:
+            payload = get_json(base, "/v1/metrics")
+        except ShardProtocolError as exc:
+            print(f"repro-codesign shard status: cannot reach coordinator: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            _render_shard_metrics(base, payload)
+        counts = payload.get("counts") or {}
+        if args.watch is None or counts.get("done"):
+            return 0
+        try:
+            _time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+        print()
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceCoordinator
+    from repro.shard.protocol import parse_bind, resolve_token
+
+    try:
+        bind = parse_bind(args.bind)
+    except ValueError as exc:
+        print(f"repro-codesign serve: error: argument --bind: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.heartbeat_s >= args.lease_ttl_s:
+        print(
+            "repro-codesign serve: error: argument --heartbeat-s: must be "
+            f"below --lease-ttl-s ({args.heartbeat_s:g} >= {args.lease_ttl_s:g})",
+            file=sys.stderr,
+        )
+        return 2
+    service = ServiceCoordinator(
+        args.root,
+        bind=bind,
+        token=resolve_token(args.token),
+        lease_ttl_s=args.lease_ttl_s,
+        heartbeat_s=args.heartbeat_s,
+        max_active=args.max_active,
+    )
+    service.start()
+    queued = sum(1 for job in service.queue.jobs() if not job.terminal)
+    print(f"Service listening on {service.url} (root {service.root}, "
+          f"{queued} unfinished job(s) resumed); Ctrl-C to stop.", flush=True)
+    try:
+        while True:
+            import time as _time
+
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("Stopping (unfinished jobs resume on the next serve)...")
+    finally:
+        service.stop()
     return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+    from repro.shard.protocol import ShardProtocolError, resolve_token
+    from repro.sweep.spec import SweepSpec
+
+    client = ServiceClient(_service_base(args.connect),
+                           token=resolve_token(args.token))
+    spec = SweepSpec.from_args(args)
+    try:
+        reply = client.submit(spec, name=args.name)
+    except ShardProtocolError as exc:
+        print(f"repro-codesign submit: {exc}", file=sys.stderr)
+        return 1
+    uid = reply.get("job")
+    print(f"Submitted job {uid} ({reply.get('cells', '?')} cell(s), "
+          f"state {reply.get('state')})")
+    if not args.wait:
+        return 0
+    last = {"settled": -1}
+
+    def _progress(summary: dict) -> None:
+        counts = summary.get("counts") or {}
+        settled = counts.get("settled", 0)
+        if settled != last["settled"]:
+            last["settled"] = settled
+            print(f"  {uid}: {settled}/{counts.get('cells', '?')} settled "
+                  f"[{summary.get('state')}]", flush=True)
+
+    try:
+        summary = client.wait(uid, timeout_s=args.wait_timeout_s,
+                              on_progress=_progress)
+    except ShardProtocolError as exc:
+        print(f"repro-codesign submit: {exc}", file=sys.stderr)
+        return 1
+    state = summary.get("state")
+    print(f"Job {uid} settled: {state}"
+          + (f" ({summary.get('error')})" if summary.get("error") else ""))
+    return 0 if state == "done" else 1
+
+
+def _run_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+    from repro.shard.protocol import ShardProtocolError, resolve_token
+    from repro.utils.tables import render_table
+
+    client = ServiceClient(_service_base(args.connect),
+                           token=resolve_token(args.token))
+    try:
+        jobs = client.jobs()
+    except ShardProtocolError as exc:
+        print(f"repro-codesign jobs: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for job in jobs:
+        counts = job.get("counts") or {}
+        rows.append([
+            job.get("job"), job.get("name"), job.get("state"),
+            f"{counts.get('settled', 0)}/{counts.get('cells', 0)}",
+            counts.get("failed", 0),
+            "yes" if job.get("recovered") else "",
+        ])
+    print(render_table(["job", "name", "state", "settled", "failed", "recovered"],
+                       rows, title=f"Jobs on {_service_base(args.connect)}"))
+    return 0
+
+
+def _run_job(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+    from repro.shard.protocol import ShardProtocolError, resolve_token
+
+    client = ServiceClient(_service_base(args.connect),
+                           token=resolve_token(args.token))
+    try:
+        if args.action == "cancel":
+            reply = client.cancel(args.uid)
+            if args.json:
+                print(json.dumps(reply, indent=2, sort_keys=True))
+            elif reply.get("cancelled"):
+                print(f"Job {args.uid}: {reply.get('state')}")
+            else:
+                print(f"Job {args.uid} is already {reply.get('state')}; "
+                      "nothing to cancel")
+            return 0
+        if args.action == "result":
+            reply = client.result(args.uid)
+            if args.output:
+                from repro.utils.serialization import dump_json
+
+                # The payload nests the run under "sweep", the exact shape
+                # `sweep --report` writes — compare --diff reads it as-is.
+                path = dump_json({"sweep": reply["sweep"]}, args.output)
+                print(f"Result of {args.uid} ({reply.get('state')}) "
+                      f"written to {path}")
+            else:
+                print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0
+        reply = client.status(args.uid)
+        if args.json:
+            print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0
+        counts = reply.get("counts") or {}
+        print(f"Job {reply.get('job')} ({reply.get('name')}): {reply.get('state')}"
+              + (f" — {reply.get('error')}" if reply.get("error") else ""))
+        print(f"  cells: {counts.get('settled', 0)}/{counts.get('cells', 0)} "
+              f"settled, {counts.get('leased', 0)} leased, "
+              f"{counts.get('failed', 0)} failed")
+        for uid, cell in sorted((reply.get("cells_detail") or {}).items()):
+            worker = f" on {cell.get('worker')}" if cell.get("worker") else ""
+            attempts = cell.get("attempts") or 0
+            extra = f" (attempt {attempts})" if attempts > 1 else ""
+            print(f"    {uid}: {cell.get('status')}{worker}{extra}")
+        return 0
+    except ShardProtocolError as exc:
+        print(f"repro-codesign job {args.action}: {exc}", file=sys.stderr)
+        return 1
 
 
 def _run_telemetry(args: argparse.Namespace) -> int:
@@ -852,6 +1144,14 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.command == "shard":
         return _run_shard(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "jobs":
+        return _run_jobs(args)
+    if args.command == "job":
+        return _run_job(args)
     if args.command == "compare":
         return _run_compare(args)
     if args.command == "cache":

@@ -38,14 +38,17 @@ Programmatically the distributed tier is one argument::
     ).run()
 """
 
-from repro.shard.coordinator import LeaseBoard, ShardCoordinator
+from repro.shard.coordinator import LeaseBoard, ShardCoordinator, parse_report
 from repro.shard.protocol import (
+    AUTH_HEADER,
     DEFAULT_HEARTBEAT_S,
     DEFAULT_LEASE_TTL_S,
     DEFAULT_POLL_S,
     DEFAULT_PORT,
     PROTOCOL_VERSION,
+    SERVICE_TOKEN_ENV,
     ShardProtocolError,
+    delete_json,
     failure_from_wire,
     failure_to_wire,
     get_json,
@@ -55,8 +58,10 @@ from repro.shard.protocol import (
     post_json,
     prepared_from_wire,
     prepared_to_wire,
+    resolve_token,
     task_from_wire,
     task_to_wire,
+    token_matches,
 )
 from repro.shard.transport import CoordinatorTransport, LocalTransport, Transport
 from repro.shard.worker import ShardWorker, execute_cell
@@ -67,10 +72,16 @@ __all__ = [
     "DEFAULT_LEASE_TTL_S",
     "DEFAULT_HEARTBEAT_S",
     "DEFAULT_POLL_S",
+    "AUTH_HEADER",
+    "SERVICE_TOKEN_ENV",
     "ShardProtocolError",
     "parse_bind",
+    "parse_report",
     "post_json",
     "get_json",
+    "delete_json",
+    "resolve_token",
+    "token_matches",
     "task_to_wire",
     "task_from_wire",
     "outcome_to_wire",

@@ -41,6 +41,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Callable, Mapping, Optional
 
 from repro.shard.protocol import (
+    AUTH_HEADER,
     DEFAULT_HEARTBEAT_S,
     DEFAULT_LEASE_TTL_S,
     DEFAULT_POLL_S,
@@ -50,6 +51,7 @@ from repro.shard.protocol import (
     prepared_to_wire,
     require,
     task_to_wire,
+    token_matches,
 )
 import repro.telemetry as telemetry
 from repro.sweep.runner import PreparedTarget, SweepFailure, SweepOutcome, SweepTask
@@ -106,6 +108,8 @@ class LeaseBoard:
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         on_outcome: Optional[Callable[[int, SweepOutcome], None]] = None,
         on_failure: Optional[Callable[[int, SweepFailure], None]] = None,
+        lease_prefix: str = "l",
+        job: Optional[str] = None,
     ) -> None:
         if lease_ttl_s <= 0:
             raise ValueError("lease_ttl_s must be positive")
@@ -116,6 +120,10 @@ class LeaseBoard:
         self.lease_ttl_s = lease_ttl_s
         self.on_outcome = on_outcome
         self.on_failure = on_failure
+        # Multi-board deployments (the job service) namespace lease ids with
+        # a per-board prefix and label telemetry with the owning job uid.
+        self.lease_prefix = lease_prefix
+        self.job = job
         self._lock = threading.Lock()
         self._cells: dict[int, _Cell] = {
             index: _Cell(index, tasks[index],
@@ -168,6 +176,24 @@ class LeaseBoard:
         with self._lock:
             return dict(self.metrics)
 
+    def cell_states(self) -> list[dict]:
+        """Per-cell progress (uid, status, attempts, worker) in grid order."""
+        with self._lock:
+            return [
+                {
+                    "uid": cell.task.uid,
+                    "status": cell.status,
+                    "attempts": cell.attempts,
+                    "worker": cell.worker_id,
+                    "failed": cell.index in self.failures,
+                }
+                for cell in sorted(self._cells.values(), key=lambda c: c.index)
+            ]
+
+    def has_cell(self, uid: str) -> bool:
+        with self._lock:
+            return uid in self._by_uid
+
     def worker_stats(self) -> list[dict]:
         """Per-worker accounting for `/v1/metrics` and `shard status`."""
         now = time.monotonic()
@@ -196,8 +222,23 @@ class LeaseBoard:
             }
             logger.info("shard: worker %s (%s) registered", worker_id, name)
         telemetry.event("shard.worker.registered", worker=worker_id,
-                        worker_name=name)
+                        worker_name=name, **self._job_tag())
         return worker_id
+
+    def adopt_worker(self, worker_id: str, name: str = "worker") -> None:
+        """Insert an externally-issued worker id (idempotent).
+
+        The multi-job service registers each worker once at the service
+        level and adopts it into every job board it touches, so lease /
+        report / heartbeat accounting still works per board without the
+        worker re-registering per job.
+        """
+        with self._lock:
+            if worker_id not in self._workers:
+                self._workers[worker_id] = {
+                    "name": name, "last_seen": time.monotonic(),
+                    "leased": 0, "completed": 0, "errors": 0, "busy_s": 0.0,
+                }
 
     def lease(self, worker_id: str, slots: int) -> list[_Cell]:
         """Lease up to ``slots`` ready cells to ``worker_id``."""
@@ -217,7 +258,7 @@ class LeaseBoard:
                 index = self._queue.pop(position)
                 cell = self._cells[index]
                 self._lease_seq += 1
-                cell.lease_id = f"l{self._lease_seq}"
+                cell.lease_id = f"{self.lease_prefix}{self._lease_seq}"
                 cell.issued_leases.add(cell.lease_id)
                 cell.worker_id = worker_id
                 cell.attempts += 1
@@ -237,7 +278,7 @@ class LeaseBoard:
         for cell in leased:
             telemetry.event(
                 "shard.lease.granted", uid=cell.task.uid, worker=worker_id,
-                lease=cell.lease_id, attempt=cell.attempts,
+                lease=cell.lease_id, attempt=cell.attempts, **self._job_tag(),
             )
         return leased
 
@@ -321,6 +362,7 @@ class LeaseBoard:
                 events.append(("shard.cell.completed", {
                     "uid": uid, "worker": worker_id,
                     "duration_s": round(max(float(duration_s), 0.0), 6),
+                    **self._job_tag(),
                 }))
             else:
                 if cell.status != "leased" or lease_id != cell.lease_id:
@@ -348,6 +390,10 @@ class LeaseBoard:
         return self._expire_locked_leases(time.monotonic())
 
     # --------------------------------------------------------------- internal
+    def _job_tag(self) -> dict:
+        """Job label merged into telemetry events (empty for one-shot grids)."""
+        return {"job": self.job} if self.job is not None else {}
+
     def _touch(self, worker_id: str, now: float) -> None:
         worker = self._workers.get(worker_id)
         if worker is None:
@@ -397,7 +443,7 @@ class LeaseBoard:
                     self.metrics["revoked"] += 1
                     events.append(("shard.lease.revoked", {
                         "uid": cell.task.uid, "worker": cell.worker_id,
-                        "lease": cell.lease_id,
+                        "lease": cell.lease_id, **self._job_tag(),
                     }))
                 elif now > cell.expires_at:
                     cell.spent_s += now - cell.lease_started
@@ -409,7 +455,7 @@ class LeaseBoard:
                     self.metrics["expired"] += 1
                     events.append(("shard.lease.expired", {
                         "uid": cell.task.uid, "worker": cell.worker_id,
-                        "lease": cell.lease_id,
+                        "lease": cell.lease_id, **self._job_tag(),
                     }))
                 else:
                     continue
@@ -423,6 +469,36 @@ class LeaseBoard:
         for name, attrs in events:
             telemetry.event(name, **attrs)
         return expired
+
+
+def parse_report(payload: Mapping) -> tuple[str, str, str, dict]:
+    """Validate one ``/v1/report`` body into ``LeaseBoard.report`` arguments.
+
+    Returns ``(worker_id, lease_id, uid, kwargs)`` where ``kwargs`` carries
+    either a parsed ``outcome`` or an ``error`` string plus ``duration_s``.
+    Shared by the one-shot coordinator and the multi-job service so both
+    enforce identical wire validation.
+    """
+    worker_id = require(payload, "worker_id", str)
+    lease_id = require(payload, "lease_id", str)
+    uid = require(payload, "uid", str)
+    status = require(payload, "status", str)
+    duration_s = float(payload.get("duration_s", 0.0))
+    if status == "ok":
+        wire = require(payload, "outcome", dict)
+        try:
+            outcome = outcome_from_wire(wire)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardProtocolError(f"malformed outcome payload: {exc}") from exc
+        if outcome.task.uid != uid:
+            raise ShardProtocolError(
+                f"outcome uid '{outcome.task.uid}' does not match report uid '{uid}'"
+            )
+        return worker_id, lease_id, uid, {"outcome": outcome, "duration_s": duration_s}
+    if status == "error":
+        error = str(payload.get("error") or "unspecified worker error")
+        return worker_id, lease_id, uid, {"error": error, "duration_s": duration_s}
+    raise ShardProtocolError(f"unknown report status '{status}'")
 
 
 class _CoordinatorHandler(BaseHTTPRequestHandler):
@@ -456,34 +532,68 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             raise ShardProtocolError("request body must be a JSON object")
         return payload
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        route = self.path.rstrip("/")
-        if route == "/v1/status":
-            self._reply(self.coordinator.status())
-        elif route == "/v1/metrics":
-            self._reply(self.coordinator.metrics())
-        else:
-            self._reply({"error": f"unknown endpoint {self.path}"}, status=404)
+    def _authorized(self) -> bool:
+        """Shared-secret gate for mutating routes; replies 401 on failure."""
+        expected = getattr(self.coordinator, "token", None)
+        if token_matches(expected, self.headers.get(AUTH_HEADER)):
+            return True
+        self._reply({"error": f"missing or invalid {AUTH_HEADER} header"},
+                    status=401)
+        return False
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    # Route tables — subclasses (the service coordinator's handler) extend
+    # these; a ``None`` return means "no such route" and yields a 404.
+    def _handle_get(self, route: str) -> Optional[dict]:
+        if route == "/v1/status":
+            return self.coordinator.status()
+        if route == "/v1/metrics":
+            return self.coordinator.metrics()
+        return None
+
+    def _handle_post(self, route: str, payload: dict) -> Optional[dict]:
+        if route == "/v1/register":
+            return self.coordinator.handle_register(payload)
+        if route == "/v1/lease":
+            return self.coordinator.handle_lease(payload)
+        if route == "/v1/report":
+            return self.coordinator.handle_report(payload)
+        if route == "/v1/heartbeat":
+            return self.coordinator.handle_heartbeat(payload)
+        if route == "/v1/cache/pull":
+            return self.coordinator.handle_cache_pull(payload)
+        if route == "/v1/cache/push":
+            return self.coordinator.handle_cache_push(payload)
+        return None
+
+    def _handle_delete(self, route: str) -> Optional[dict]:
+        return None
+
+    def _dispatch(self, handler: Callable[[], Optional[dict]]) -> None:
         try:
-            payload = self._read_body()
-            route = self.path.rstrip("/")
-            if route == "/v1/register":
-                self._reply(self.coordinator.handle_register(payload))
-            elif route == "/v1/lease":
-                self._reply(self.coordinator.handle_lease(payload))
-            elif route == "/v1/report":
-                self._reply(self.coordinator.handle_report(payload))
-            elif route == "/v1/heartbeat":
-                self._reply(self.coordinator.handle_heartbeat(payload))
-            else:
+            reply = handler()
+            if reply is None:
                 self._reply({"error": f"unknown endpoint {self.path}"}, status=404)
+            else:
+                self._reply(reply)
         except ShardProtocolError as exc:
             self._reply({"error": str(exc)}, status=400)
         except Exception as exc:  # noqa: BLE001 - one bad request must not kill the server
             logger.exception("shard: unhandled error serving %s", self.path)
             self._reply({"error": f"{type(exc).__name__}: {exc}"}, status=500)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(lambda: self._handle_get(self.path.rstrip("/")))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if not self._authorized():
+            return
+        self._dispatch(lambda: self._handle_post(self.path.rstrip("/"),
+                                                 self._read_body()))
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        if not self._authorized():
+            return
+        self._dispatch(lambda: self._handle_delete(self.path.rstrip("/")))
 
 
 class ShardCoordinator:
@@ -505,12 +615,18 @@ class ShardCoordinator:
         port: int = 0,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
         poll_s: float = DEFAULT_POLL_S,
+        token: Optional[str] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.board = board
         self.prepared = dict(prepared)
         self.prep_keys = dict(prep_keys)
         self.heartbeat_s = heartbeat_s
         self.poll_s = poll_s
+        self.token = token or None
+        # Estimator-cache exchange hub: workers pull this directory's records
+        # in bulk after registering and push back what they compute.
+        self.cache_dir = cache_dir
         self._prepared_wire = {
             key: prepared_to_wire(artifact) for key, artifact in self.prepared.items()
         }
@@ -564,6 +680,7 @@ class ShardCoordinator:
             "heartbeat_s": self.heartbeat_s,
             "poll_s": self.poll_s,
             "grid_size": self.board.counts()["cells"],
+            "cache": self.cache_dir is not None,
         }
 
     def handle_lease(self, payload: Mapping) -> dict:
@@ -583,6 +700,7 @@ class ShardCoordinator:
                 "task": task_to_wire(cell.task),
                 "prep": prep_key,
                 "timeout_s": cell.timeout_s,
+                "job": self.board.job,
             })
         return {
             "cells": wire_cells,
@@ -592,31 +710,8 @@ class ShardCoordinator:
         }
 
     def handle_report(self, payload: Mapping) -> dict:
-        worker_id = require(payload, "worker_id", str)
-        lease_id = require(payload, "lease_id", str)
-        uid = require(payload, "uid", str)
-        status = require(payload, "status", str)
-        duration_s = float(payload.get("duration_s", 0.0))
-        if status == "ok":
-            wire = require(payload, "outcome", dict)
-            try:
-                outcome = outcome_from_wire(wire)
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ShardProtocolError(f"malformed outcome payload: {exc}") from exc
-            if outcome.task.uid != uid:
-                raise ShardProtocolError(
-                    f"outcome uid '{outcome.task.uid}' does not match report uid '{uid}'"
-                )
-            accepted, reason = self.board.report(
-                worker_id, lease_id, uid, outcome=outcome, duration_s=duration_s,
-            )
-        elif status == "error":
-            error = str(payload.get("error") or "unspecified worker error")
-            accepted, reason = self.board.report(
-                worker_id, lease_id, uid, error=error, duration_s=duration_s,
-            )
-        else:
-            raise ShardProtocolError(f"unknown report status '{status}'")
+        worker_id, lease_id, uid, kwargs = parse_report(payload)
+        accepted, reason = self.board.report(worker_id, lease_id, uid, **kwargs)
         return {"accepted": accepted, "reason": reason, "done": self.board.done}
 
     def handle_heartbeat(self, payload: Mapping) -> dict:
@@ -624,6 +719,33 @@ class ShardCoordinator:
         lease_ids = [str(l) for l in payload.get("lease_ids", [])]
         lost = self.board.heartbeat(worker_id, lease_ids)
         return {"ok": True, "lost": lost, "done": self.board.done}
+
+    # ------------------------------------------------------------ cache sync
+    def handle_cache_pull(self, payload: Mapping) -> dict:
+        """Bulk ``DiskEvaluationCache`` export so fresh workers warm-start."""
+        require(payload, "worker_id", str)
+        if self.cache_dir is None:
+            return {"records": [], "count": 0, "enabled": False}
+        from repro.sweep.disk_cache import read_cache_records
+
+        namespaces = payload.get("namespaces")
+        if namespaces is not None and not isinstance(namespaces, list):
+            raise ShardProtocolError("'namespaces' must be a list when present")
+        records = read_cache_records(self.cache_dir, namespaces=namespaces)
+        return {"records": records, "count": len(records), "enabled": True}
+
+    def handle_cache_push(self, payload: Mapping) -> dict:
+        """Merge worker-computed estimates into the coordinator's cache."""
+        require(payload, "worker_id", str)
+        records = require(payload, "records", list)
+        if self.cache_dir is None:
+            return {"accepted": 0, "enabled": False}
+        from repro.sweep.disk_cache import append_cache_records
+
+        accepted = append_cache_records(self.cache_dir, records, shard="pushed")
+        if accepted:
+            telemetry.event("shard.cache.pushed", records=accepted)
+        return {"accepted": accepted, "enabled": True}
 
     # ------------------------------------------------------------------ serve
     def serve_until_done(

@@ -18,27 +18,32 @@ unless noted):
 
 ``/v1/register``
     ``{"name": ...}`` → ``{"worker_id", "lease_ttl_s", "heartbeat_s",
-    "poll_s", "grid_size"}``.  A worker registers once and uses the
-    returned id in every later call.
+    "poll_s", "grid_size", "cache": bool}``.  A worker registers once and
+    uses the returned id in every later call.  ``cache=True`` advertises
+    the ``/v1/cache/*`` exchange below.
 
 ``/v1/lease``
     ``{"worker_id", "slots", "known_preps": [wire_key, ...]}`` →
-    ``{"cells": [{"lease_id", "uid", "task", "prep", "timeout_s"}, ...],
-    "prepared": {wire_key: PreparedTarget.to_wire(), ...},
+    ``{"cells": [{"lease_id", "uid", "task", "prep", "timeout_s",
+    "job"}, ...], "prepared": {wire_key: PreparedTarget.to_wire(), ...},
     "done": bool, "retry_after_s": float}``.  Cells are leased
     longest-expected-first; the serialized :class:`PreparedTarget` for a
     cell's target key ships inline exactly once per worker (the worker
     advertises the keys it already holds).  ``done=True`` tells the
-    worker the whole grid has settled and it should exit.
+    worker the whole grid has settled and it should exit.  ``job`` is the
+    owning job uid under a multi-job service coordinator and ``None``
+    (or absent) for a one-shot grid — workers echo it back verbatim.
 
 ``/v1/report``
     ``{"worker_id", "lease_id", "uid", "status": "ok"|"error",
-    "outcome"| "error", "duration_s"}`` → ``{"accepted": bool,
+    "outcome"| "error", "duration_s", "job"?}`` → ``{"accepted": bool,
     "reason": str?}``.  Duplicate completions (a lease that expired and
     was re-run elsewhere) are resolved deterministically by uid — the
     first settled record wins and later reports are acknowledged but
     dropped (``accepted=False, reason="duplicate"``), so a settled cell
-    is never lost *or* double-counted.
+    is never lost *or* double-counted.  ``job`` routes the report to the
+    right job's board under a service coordinator; one-shot coordinators
+    ignore it.
 
 ``/v1/heartbeat``
     ``{"worker_id", "lease_ids": [...]}`` → ``{"ok", "lost": [...]}``.
@@ -46,13 +51,33 @@ unless noted):
     (expired and requeued) comes back in ``lost`` so the worker can stop
     wasting cycles on it.
 
+``/v1/cache/pull`` / ``/v1/cache/push``
+    Bulk estimator-cache exchange so a fresh worker warm-starts instead
+    of recomputing.  ``pull``: ``{"worker_id", "namespaces"?}`` →
+    ``{"records": [...], "count", "enabled"}``.  ``push``:
+    ``{"worker_id", "records": [...]}`` → ``{"accepted": int,
+    "enabled"}``.  Records use the ``DiskEvaluationCache`` JSONL shape
+    verbatim (``{"namespace", "key", "estimate", "ts"}``).
+
 ``/v1/status`` (GET)
     Progress counters for dashboards and tests.
+
+A service coordinator (``repro.service``) additionally serves
+``/v1/jobs`` (POST submit / GET list), ``/v1/jobs/<uid>`` (GET status /
+DELETE cancel) and ``/v1/jobs/<uid>/result``; workers need no knowledge
+of those routes.
+
+Authentication: when the operator configures a shared secret (``--token``
+or ``REPRO_SERVICE_TOKEN``), every mutating route (POST/DELETE) requires
+the ``X-Repro-Token`` header and replies HTTP 401 otherwise.  Comparison
+is constant-time (:func:`token_matches`).
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import urllib.error
 import urllib.request
 from typing import Mapping, Optional
@@ -76,9 +101,39 @@ DEFAULT_HEARTBEAT_S = 5.0
 #: Default idle-poll period suggested to workers when no cell is ready.
 DEFAULT_POLL_S = 0.5
 
+#: Header carrying the shared secret on mutating requests.
+AUTH_HEADER = "X-Repro-Token"
+
+#: Environment variable consulted when no ``--token`` flag is given.
+SERVICE_TOKEN_ENV = "REPRO_SERVICE_TOKEN"
+
 
 class ShardProtocolError(RuntimeError):
     """A malformed or unexpected message crossed the shard wire."""
+
+
+def resolve_token(token: Optional[str]) -> Optional[str]:
+    """Effective shared secret: the explicit flag, else ``$REPRO_SERVICE_TOKEN``.
+
+    Empty strings count as "no token" so ``--token ''`` disables auth
+    explicitly even when the environment variable is set.
+    """
+    if token is not None:
+        return token or None
+    return os.environ.get(SERVICE_TOKEN_ENV) or None
+
+
+def token_matches(expected: Optional[str], provided: Optional[str]) -> bool:
+    """Constant-time shared-secret check.
+
+    No configured secret accepts everything; a configured secret requires
+    an exact (timing-safe) match — a missing header never matches.
+    """
+    if not expected:
+        return True
+    if not provided:
+        return False
+    return hmac.compare_digest(expected.encode("utf-8"), provided.encode("utf-8"))
 
 
 # ---------------------------------------------------------------- wire views
@@ -154,22 +209,46 @@ def post_json(
     path: str,
     payload: Mapping,
     timeout_s: float = 10.0,
+    token: Optional[str] = None,
 ) -> dict:
     """POST ``payload`` as JSON to ``base_url + path``; return the JSON reply."""
     url = base_url.rstrip("/") + path
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers[AUTH_HEADER] = token
     request = urllib.request.Request(
         url,
         data=json.dumps(to_jsonable(payload)).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
+        headers=headers,
         method="POST",
     )
     return _fetch_json(url, request, timeout_s)
 
 
-def get_json(base_url: str, path: str, timeout_s: float = 10.0) -> dict:
+def get_json(
+    base_url: str,
+    path: str,
+    timeout_s: float = 10.0,
+    token: Optional[str] = None,
+) -> dict:
     """GET ``base_url + path``; return the JSON reply (same error contract)."""
     url = base_url.rstrip("/") + path
-    return _fetch_json(url, url, timeout_s)
+    headers = {AUTH_HEADER: token} if token else {}
+    request = urllib.request.Request(url, headers=headers, method="GET")
+    return _fetch_json(url, request, timeout_s)
+
+
+def delete_json(
+    base_url: str,
+    path: str,
+    timeout_s: float = 10.0,
+    token: Optional[str] = None,
+) -> dict:
+    """DELETE ``base_url + path``; return the JSON reply (same error contract)."""
+    url = base_url.rstrip("/") + path
+    headers = {AUTH_HEADER: token} if token else {}
+    request = urllib.request.Request(url, headers=headers, method="DELETE")
+    return _fetch_json(url, request, timeout_s)
 
 
 def parse_bind(spec: str, default_port: int = DEFAULT_PORT) -> tuple[str, int]:

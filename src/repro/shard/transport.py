@@ -90,6 +90,7 @@ class CoordinatorTransport(Transport):
         linger_s: float = 2.0,
         stop: Optional[threading.Event] = None,
         on_bound=None,
+        token: Optional[str] = None,
     ) -> None:
         if lease_ttl_s <= 0:
             raise ValueError("lease_ttl_s must be positive")
@@ -102,6 +103,7 @@ class CoordinatorTransport(Transport):
         self.linger_s = linger_s
         self.stop = stop
         self.on_bound = on_bound
+        self.token = token or None
         #: The coordinator of the in-flight run (exposed for tests/status).
         self.coordinator: Optional[ShardCoordinator] = None
         #: Lease metrics / per-worker stats of the last finished run, kept
@@ -139,6 +141,10 @@ class CoordinatorTransport(Transport):
             port=self.bind[1],
             heartbeat_s=self.heartbeat_s,
             poll_s=self.poll_s,
+            token=self.token,
+            # The run's cache dir doubles as the cache-exchange hub: fresh
+            # workers pull it in bulk and push back what they compute.
+            cache_dir=runner.cache_dir,
         )
         self.coordinator = coordinator
         logger.info(

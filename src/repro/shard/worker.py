@@ -99,11 +99,15 @@ class ShardWorker:
         request_timeout_s: float = 30.0,
         max_connect_failures: int = 10,
         reconnect_delay_s: float = 0.5,
+        token: Optional[str] = None,
+        idle_timeout_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_connect_failures < 1:
             raise ValueError("max_connect_failures must be >= 1")
+        if idle_timeout_s is not None and idle_timeout_s < 0:
+            raise ValueError("idle_timeout_s must be >= 0")
         self.connect = connect.rstrip("/")
         if not self.connect.startswith(("http://", "https://")):
             self.connect = "http://" + self.connect
@@ -114,6 +118,11 @@ class ShardWorker:
         self.request_timeout_s = request_timeout_s
         self.max_connect_failures = max_connect_failures
         self.reconnect_delay_s = reconnect_delay_s
+        self.token = token or None
+        # None keeps the one-shot contract (exit only on done); a number
+        # makes an idle worker (no work in any job) back off and exit 0
+        # after that many seconds without a lease — the multi-job default.
+        self.idle_timeout_s = idle_timeout_s
 
         self.worker_id: Optional[str] = None
         self.heartbeat_s = 5.0
@@ -125,11 +134,15 @@ class ShardWorker:
         self._active_leases: set[str] = set()
         self._saw_done = threading.Event()
         self._stop = threading.Event()
+        self._idle_since: Optional[float] = None
+        self._idle_rounds = 0
+        self._cache_sync = False
+        self._cache_pushed: set[tuple[str, str]] = set()
 
     # ----------------------------------------------------------------- wire io
     def _post(self, path: str, payload: dict) -> dict:
         return post_json(self.connect, path, payload,
-                         timeout_s=self.request_timeout_s)
+                         timeout_s=self.request_timeout_s, token=self.token)
 
     def _register(self) -> None:
         reply = self._post("/v1/register", {
@@ -140,6 +153,58 @@ class ShardWorker:
         self.poll_s = float(reply.get("poll_s", self.poll_s))
         logger.info("shard worker %s registered as %s at %s",
                     self.name, self.worker_id, self.connect)
+        self._cache_sync = bool(reply.get("cache")) and self.cache_dir is not None
+        if self._cache_sync:
+            self._pull_cache()
+
+    # --------------------------------------------------------------- cache sync
+    def _pull_cache(self) -> None:
+        """Warm-start: bulk-import the coordinator's estimator-cache records."""
+        from repro.sweep.disk_cache import append_cache_records
+
+        try:
+            reply = self._post("/v1/cache/pull", {"worker_id": self.worker_id})
+        except ShardProtocolError as exc:
+            logger.warning("shard worker %s: cache pull failed: %s",
+                           self.worker_id, exc)
+            return
+        records = [r for r in (reply.get("records") or []) if isinstance(r, dict)]
+        for record in records:
+            namespace, key = record.get("namespace"), record.get("key")
+            if isinstance(namespace, str) and isinstance(key, str):
+                # The coordinator already holds these; never push them back.
+                self._cache_pushed.add((namespace, key))
+        if not records:
+            return
+        added = append_cache_records(self.cache_dir, records,
+                                     shard=f"pulled-{self.worker_id}")
+        if added:
+            logger.info("shard worker %s: warm-started %d cached estimate(s)",
+                        self.worker_id, added)
+            telemetry.event("shard.cache.pulled", records=added)
+
+    def _push_cache(self) -> None:
+        """Ship locally-computed estimates the coordinator has not seen yet."""
+        if not self._cache_sync:
+            return
+        from repro.sweep.disk_cache import read_cache_records
+
+        fresh = [
+            record for record in read_cache_records(self.cache_dir)
+            if (record["namespace"], record["key"]) not in self._cache_pushed
+        ]
+        if not fresh:
+            return
+        try:
+            self._post("/v1/cache/push",
+                       {"worker_id": self.worker_id, "records": fresh})
+        except ShardProtocolError as exc:
+            logger.debug("shard worker %s: cache push failed: %s",
+                         self.worker_id, exc)
+            return
+        self._cache_pushed.update(
+            (record["namespace"], record["key"]) for record in fresh
+        )
 
     def _heartbeat_loop(self) -> None:
         while not self._stop.wait(self.heartbeat_s):
@@ -174,7 +239,8 @@ class ShardWorker:
             self._saw_done.set()
         return reply
 
-    def _report(self, lease_id: str, uid: str, status: str, value, duration_s: float) -> None:
+    def _report(self, lease_id: str, uid: str, status: str, value,
+                duration_s: float, job: Optional[str] = None) -> None:
         payload = {
             "worker_id": self.worker_id,
             "lease_id": lease_id,
@@ -182,6 +248,8 @@ class ShardWorker:
             "status": status,
             "duration_s": duration_s,
         }
+        if job is not None:
+            payload["job"] = job
         if status == "ok":
             payload["outcome"] = outcome_to_wire(value)
         else:
@@ -195,6 +263,7 @@ class ShardWorker:
                         self.worker_id, uid, reply.get("reason"))
         with self._lease_lock:
             self._active_leases.discard(lease_id)
+        self._push_cache()
 
     # ------------------------------------------------------------------- main
     def run(self) -> int:
@@ -242,6 +311,37 @@ class ShardWorker:
                     raise
                 time.sleep(self.reconnect_delay_s)
 
+    def _idle_pause(self, reply: dict) -> bool:
+        """Backoff sleep between empty leases; True once the idle budget is spent.
+
+        One-shot grids never get here with ``done`` unset for long, so the
+        default (``idle_timeout_s=None``) polls forever — the coordinator's
+        ``done`` reply is the shutdown signal.  Against a persistent
+        multi-job service, "no work in any job" is an ordinary steady
+        state: the worker backs off exponentially (bounded) and only exits
+        0 when a configured idle timeout elapses with no lease granted.
+        """
+        now = time.monotonic()
+        if self._idle_since is None:
+            self._idle_since = now
+        elif self.idle_timeout_s is not None \
+                and now - self._idle_since >= self.idle_timeout_s:
+            logger.info("shard worker %s: no work for %.1fs; exiting on idle timeout",
+                        self.worker_id, now - self._idle_since)
+            return True
+        base = max(float(reply.get("retry_after_s", self.poll_s)), 0.05)
+        delay = min(base * (2.0 ** self._idle_rounds), max(base, 2.0))
+        self._idle_rounds += 1
+        if self.idle_timeout_s is not None:
+            remaining = self.idle_timeout_s - (time.monotonic() - self._idle_since)
+            delay = min(delay, max(remaining, 0.05))
+        time.sleep(delay)
+        return False
+
+    def _note_work(self) -> None:
+        self._idle_since = None
+        self._idle_rounds = 0
+
     def _run_serial(self) -> int:
         try:
             while True:
@@ -252,12 +352,14 @@ class ShardWorker:
                 if not cells:
                     if reply.get("done"):
                         return 0
-                    time.sleep(max(float(reply.get("retry_after_s", self.poll_s)),
-                                   0.05))
+                    if self._idle_pause(reply):
+                        return 0
                     continue
+                self._note_work()
                 for cell in cells:
                     lease_id = str(cell["lease_id"])
                     uid = str(cell["uid"])
+                    job = cell.get("job")
                     with self._lease_lock:
                         self._active_leases.add(lease_id)
                     task = task_from_wire(cell["task"])
@@ -266,15 +368,15 @@ class ShardWorker:
                         self.task_fn, task, self.cache_dir, prepared)
                     self.executed += 1
                     if self._checked(
-                        lambda lid=lease_id, u=uid, s=status, v=value, d=duration:
-                        self._report(lid, u, s, v, d) or {}
+                        lambda lid=lease_id, u=uid, s=status, v=value, d=duration,
+                        j=job: self._report(lid, u, s, v, d, j) or {}
                     ) is None:
                         return 0
         except ShardProtocolError:
             return 1
 
     def _run_pooled(self) -> int:
-        in_flight: dict = {}  # future -> (lease_id, uid)
+        in_flight: dict = {}  # future -> (lease_id, uid, job)
         try:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 while True:
@@ -293,12 +395,14 @@ class ShardWorker:
                             prepared = self._prepared.get(cell.get("prep") or "")
                             future = pool.submit(_execute_cell_pooled, self.task_fn,
                                                  task, self.cache_dir, prepared)
-                            in_flight[future] = (lease_id, uid)
-                        if not cells and not in_flight:
+                            in_flight[future] = (lease_id, uid, cell.get("job"))
+                        if cells:
+                            self._note_work()
+                        elif not in_flight:
                             if reply.get("done"):
                                 return 0
-                            time.sleep(max(
-                                float(reply.get("retry_after_s", self.poll_s)), 0.05))
+                            if self._idle_pause(reply):
+                                return 0
                             continue
                     if in_flight:
                         # Bounded wait so freed slots keep leasing while slow
@@ -306,7 +410,7 @@ class ShardWorker:
                         done, _ = wait(in_flight, timeout=0.5,
                                        return_when=FIRST_COMPLETED)
                         for future in done:
-                            lease_id, uid = in_flight.pop(future)
+                            lease_id, uid, job = in_flight.pop(future)
                             try:
                                 status, value, duration, cell_metrics = future.result()
                             except Exception as exc:  # noqa: BLE001 - pool-level crash
@@ -316,7 +420,7 @@ class ShardWorker:
                             self.executed += 1
                             if self._checked(
                                 lambda lid=lease_id, u=uid, s=status, v=value,
-                                d=duration: self._report(lid, u, s, v, d) or {}
+                                d=duration, j=job: self._report(lid, u, s, v, d, j) or {}
                             ) is None:
                                 return 0
         except ShardProtocolError:

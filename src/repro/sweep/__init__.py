@@ -54,6 +54,7 @@ from repro.sweep.checkpoint import (
     CHECKPOINT_FILENAME,
     CheckpointStatus,
     CheckpointWriter,
+    checkpoint_cells,
     compact_checkpoint,
     compact_timings,
     load_checkpoint,
@@ -77,10 +78,13 @@ from repro.sweep.disk_cache import (
     CompactionReport,
     DiskEvaluationCache,
     NamespaceStats,
+    append_cache_records,
     cache_dir_stats,
     coefficients_fingerprint,
     compact_cache_dir,
+    read_cache_records,
 )
+from repro.sweep.spec import SweepSpec
 from repro.sweep.runner import (
     PreparedDevice,
     PreparedTarget,
@@ -116,11 +120,15 @@ __all__ = [
     "cache_dir_stats",
     "coefficients_fingerprint",
     "compact_cache_dir",
+    "read_cache_records",
+    "append_cache_records",
+    "SweepSpec",
     "CHECKPOINT_FILENAME",
     "CheckpointStatus",
     "CheckpointWriter",
     "load_checkpoint",
     "scan_checkpoint",
+    "checkpoint_cells",
     "compact_checkpoint",
     "load_timings",
     "save_timings",

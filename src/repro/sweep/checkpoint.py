@@ -211,6 +211,27 @@ def scan_checkpoint(path: _PathLike) -> tuple[int, int, int]:
     return outcomes, len(kinds) - outcomes, corrupt
 
 
+def checkpoint_cells(path: _PathLike) -> dict[str, str]:
+    """Newest-wins ``{uid: "outcome" | "failure"}`` map, without payloads.
+
+    The per-cell counterpart of :func:`scan_checkpoint`: status surfaces
+    (the job service's per-cell progress view) need to know *which* cells
+    settled, not what they produced, so the embedded journals are never
+    reconstructed.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {}
+    kinds: dict[str, str] = {}
+    try:
+        for kind, uid, _record in _iter_checkpoint_lines(path):
+            if kind in ("outcome", "failure"):
+                kinds[uid] = kind
+    except OSError:  # pragma: no cover - unreadable checkpoint
+        return {}
+    return kinds
+
+
 class CheckpointWriter:
     """Append settled-cell records to a checkpoint, one atomic line each.
 

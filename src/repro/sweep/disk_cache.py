@@ -665,3 +665,69 @@ def compact_cache_dir(
     )
     logger.info("%s", report.summary())
     return report
+
+
+# ------------------------------------------------------------- wire exchange
+def read_cache_records(directory, namespaces: Optional[Sequence[str]] = None) -> list[dict]:
+    """Export a cache directory's records as wire-ready JSON dicts.
+
+    Deduplicated (newest per ``(namespace, key)``), deterministically
+    ordered, optionally filtered to ``namespaces``.  This is the payload of
+    the shard protocol's ``/v1/cache/pull`` — the record shape is exactly
+    the on-disk JSONL line, so the receiving side can append verbatim.
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    records, _corrupt, _dups, _bytes, _shards = _scan_cache_dir(directory)
+    wanted = set(namespaces) if namespaces is not None else None
+    return [
+        record
+        for (namespace, _key), record in sorted(records.items())
+        if wanted is None or namespace in wanted
+    ]
+
+
+def append_cache_records(directory, records: Sequence[dict], *, shard: str = "pushed") -> int:
+    """Merge wire cache records into ``directory``; returns how many were new.
+
+    Malformed records are dropped, records whose ``(namespace, key)`` the
+    directory already holds are skipped (pushes are idempotent), and fresh
+    records are appended to per-namespace ``<ns>--<shard>.jsonl`` files in
+    the exact on-disk format, so a :class:`DiskEvaluationCache` opened on
+    the directory picks them up as ordinary shards.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    existing, _corrupt, _dups, _bytes, _shards = _scan_cache_dir(directory)
+    seen = set(existing)
+    fresh_lines: dict[str, list[str]] = {}
+    accepted = 0
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        namespace = record.get("namespace")
+        key = record.get("key")
+        estimate = _estimate_from_payload(record.get("estimate", {}))
+        if not isinstance(namespace, str) or not isinstance(key, str) \
+                or estimate is None:
+            continue
+        if (namespace, key) in seen:
+            continue
+        seen.add((namespace, key))
+        ts = record.get("ts")
+        line = json.dumps({
+            "namespace": namespace,
+            "key": key,
+            "estimate": _estimate_payload(estimate),
+            # Keep the producer's timestamp; a missing one falls back to 0.0
+            # ("oldest"), never to this machine's wall clock.
+            "ts": round(float(ts), 3) if isinstance(ts, (int, float)) else 0.0,
+        }, sort_keys=True)
+        fresh_lines.setdefault(_sanitize(namespace), []).append(line)
+        accepted += 1
+    for prefix, lines in fresh_lines.items():
+        path = directory / f"{prefix}--{_sanitize(shard)}.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in lines))
+    return accepted

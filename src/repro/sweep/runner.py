@@ -1220,6 +1220,11 @@ class SweepRunner:
         """
         if self.cache_dir is None or not telemetry.enabled():
             return None
+        if telemetry.sink() is not None:
+            # An outer owner (the job service's root sidecar) is already
+            # attached; events keep flowing there — with job labels — and
+            # this runner must not clobber or close it.
+            return None
         from repro.telemetry import TELEMETRY_FILENAME, TelemetrySink
 
         path = pathlib.Path(self.cache_dir) / TELEMETRY_FILENAME
